@@ -1,0 +1,74 @@
+"""Figure 5 — Memory consumption vs. number of indexes (Stock).
+
+Paper result: building one new index per stock with Hermit consumes roughly
+half the total memory of building complete B+-trees (Figure 5a), and the
+space breakdown (Figure 5b) shows the baseline dominated by the newly created
+indexes while Hermit's new indexes are negligible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import FigureData
+from repro.bench.report import format_figure, format_memory_report
+from repro.bench.timing import scaled
+from repro.engine.catalog import IndexMethod
+from repro.engine.database import Database
+from repro.storage.memory import BYTES_PER_MB
+from repro.workloads.stock import generate_stock, high_column, load_stock
+
+INDEX_COUNTS = [5, 10, 15, 20]  # scaled stand-in for the paper's 25..100
+
+
+def total_memory_mb(method: IndexMethod, num_stocks: int) -> tuple[float, object]:
+    """Total database memory (MB) after indexing every high-price column."""
+    dataset = generate_stock(num_stocks=num_stocks, num_days=scaled(2_000))
+    database = Database()
+    table_name = load_stock(database, dataset)
+    for stock in range(num_stocks):
+        database.create_index(f"new_high_{stock}", table_name, high_column(stock),
+                              method=method,
+                              host_column=f"low_{stock}"
+                              if method is IndexMethod.HERMIT else None)
+    report = database.memory_report(table_name)
+    return report.total_mb, report
+
+
+@pytest.mark.figure("fig5")
+def test_fig05_memory_vs_number_of_indexes(benchmark):
+    """Regenerate Figure 5a/5b and check the Hermit-vs-Baseline space ratio."""
+    def sweep():
+        figure = FigureData("Figure 5a", "number of indexes", "memory (MB)")
+        reports = {}
+        for count in INDEX_COUNTS:
+            for method, label in ((IndexMethod.HERMIT, "HERMIT"),
+                                  (IndexMethod.BTREE, "Baseline")):
+                total, report = total_memory_mb(method, count)
+                figure.add_point(label, count, total)
+                reports[(label, count)] = report
+        return figure, reports
+
+    figure, reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    figure.notes.append("paper: HERMIT total memory ~half of Baseline at 100 indexes")
+    print()
+    print(format_figure(figure))
+    largest = INDEX_COUNTS[-1]
+    print(format_memory_report(reports[("HERMIT", largest)],
+                               title=f"Figure 5b HERMIT ({largest} indexes)"))
+    print(format_memory_report(reports[("Baseline", largest)],
+                               title=f"Figure 5b Baseline ({largest} indexes)"))
+
+    hermit_total = figure.series["HERMIT"].ys[-1]
+    baseline_total = figure.series["Baseline"].ys[-1]
+    assert hermit_total < 0.75 * baseline_total
+
+    hermit_new = reports[("HERMIT", largest)].components["new_indexes"]
+    baseline_new = reports[("Baseline", largest)].components["new_indexes"]
+    assert hermit_new < baseline_new / 10
+    # Baseline spends most of its memory on index maintenance (paper: >70%).
+    baseline_report = reports[("Baseline", largest)]
+    index_fraction = (baseline_report.fraction("new_indexes")
+                      + baseline_report.fraction("existing_indexes"))
+    assert index_fraction > 0.5
+    assert baseline_new / BYTES_PER_MB > 0.0

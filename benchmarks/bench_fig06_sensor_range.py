@@ -1,0 +1,64 @@
+"""Figure 6 — Range lookup throughput vs. selectivity (Sensor).
+
+Paper result: on the non-linearly correlated Sensor workload Hermit is ~22%
+slower than the baseline at 1% selectivity, and the gap diminishes as the
+selectivity grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import (
+    STOCK_SELECTIVITIES,
+    assert_within_factor,
+    build_sensor_setup,
+    selectivity_sweep,
+)
+from repro.bench.report import format_figure
+from repro.storage.identifiers import PointerScheme
+from repro.workloads.queries import range_queries
+
+
+@pytest.fixture(scope="module", params=[PointerScheme.LOGICAL,
+                                        PointerScheme.PHYSICAL],
+                ids=["logical", "physical"])
+def sensor_setup(request):
+    return build_sensor_setup(num_tuples=15_000,
+                              pointer_scheme=request.param), request.param
+
+
+@pytest.mark.figure("fig6")
+@pytest.mark.parametrize("mechanism_label", ["HERMIT", "Baseline"])
+def test_fig06_range_lookup_throughput(benchmark, sensor_setup, mechanism_label):
+    """Benchmark one batch of 2.5%-selectivity range lookups per mechanism."""
+    setup, _ = sensor_setup
+    queries = range_queries(setup.domain, selectivity=0.025, count=20, seed=6)
+    mechanism = setup.mechanisms[mechanism_label]
+    results = benchmark(lambda: [mechanism.lookup_range(q.low, q.high)
+                                 for q in queries])
+    assert len(results) == 20
+
+
+@pytest.mark.figure("fig6")
+def test_fig06_report_selectivity_sweep(benchmark, sensor_setup):
+    """Regenerate the Figure 6 series and check its shape."""
+    setup, scheme = sensor_setup
+    figure = benchmark.pedantic(
+        lambda: selectivity_sweep(setup, STOCK_SELECTIVITIES,
+                                  f"Figure 6 ({scheme.value} pointers)"),
+        rounds=1, iterations=1)
+    figure.notes.append("paper: HERMIT ~22% slower at 1% selectivity, gap shrinks")
+    print()
+    print(format_figure(figure))
+
+    hermit = figure.series["HERMIT"].ys
+    baseline = figure.series["Baseline"].ys
+    # Hermit stays within a small factor across the sweep.  (The paper reports
+    # ~22% at 1% selectivity; the pure-Python base-table validation path makes
+    # the constant factor larger here — see EXPERIMENTS.md.)
+    for h, b in zip(hermit, baseline):
+        assert_within_factor(h, b, factor=6.0)
+    # The relative gap at the largest selectivity is no worse than at the
+    # smallest (the paper's "gap diminishes" trend, with slack for noise).
+    assert hermit[-1] / baseline[-1] >= 0.5 * (hermit[0] / baseline[0])

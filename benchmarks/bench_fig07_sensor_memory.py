@@ -1,0 +1,70 @@
+"""Figure 7 — Memory consumption vs. number of tuples (Sensor).
+
+Paper result: with one new index per sensor column, the baseline's memory
+grows much faster with the tuple count than Hermit's, and its space breakdown
+is dominated by the newly created secondary indexes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import FigureData
+from repro.bench.report import format_figure, format_memory_report
+from repro.bench.timing import scaled
+from repro.engine.catalog import IndexMethod
+from repro.engine.database import Database
+from repro.workloads.sensor import generate_sensor, load_sensor, sensor_column
+
+TUPLE_COUNTS = [5_000, 10_000, 15_000, 20_000]  # stand-in for the paper's 1-4M
+NUM_INDEXED_SENSORS = 8
+
+
+def total_memory_mb(method: IndexMethod, num_tuples: int):
+    dataset = generate_sensor(num_tuples=scaled(num_tuples))
+    database = Database()
+    table_name = load_sensor(database, dataset)
+    for sensor in range(NUM_INDEXED_SENSORS):
+        database.create_index(f"new_{sensor_column(sensor)}", table_name,
+                              sensor_column(sensor), method=method,
+                              host_column="average"
+                              if method is IndexMethod.HERMIT else None)
+    report = database.memory_report(table_name)
+    return report.total_mb, report
+
+
+@pytest.mark.figure("fig7")
+def test_fig07_memory_vs_tuples(benchmark):
+    """Regenerate Figure 7a/7b and check the growth-rate relationship."""
+    def sweep():
+        figure = FigureData("Figure 7a", "number of tuples", "memory (MB)")
+        reports = {}
+        for count in TUPLE_COUNTS:
+            for method, label in ((IndexMethod.HERMIT, "HERMIT"),
+                                  (IndexMethod.BTREE, "Baseline")):
+                total, report = total_memory_mb(method, count)
+                figure.add_point(label, count, total)
+                reports[(label, count)] = report
+        return figure, reports
+
+    figure, reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    figure.notes.append("paper: Baseline grows much faster with tuple count")
+    print()
+    print(format_figure(figure))
+    largest = TUPLE_COUNTS[-1]
+    print(format_memory_report(reports[("HERMIT", largest)],
+                               title="Figure 7b HERMIT"))
+    print(format_memory_report(reports[("Baseline", largest)],
+                               title="Figure 7b Baseline"))
+
+    hermit_growth = figure.series["HERMIT"].ys[-1] - figure.series["HERMIT"].ys[0]
+    baseline_growth = (figure.series["Baseline"].ys[-1]
+                       - figure.series["Baseline"].ys[0])
+    assert baseline_growth > 1.3 * hermit_growth
+    # Baseline spends most of its growth on the new secondary indexes.
+    baseline_report = reports[("Baseline", largest)]
+    assert baseline_report.components["new_indexes"] > baseline_report.components[
+        "existing_indexes"]
+    hermit_report = reports[("HERMIT", largest)]
+    assert hermit_report.components["new_indexes"] < baseline_report.components[
+        "new_indexes"] / 5

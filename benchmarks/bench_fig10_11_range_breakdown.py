@@ -1,0 +1,65 @@
+"""Figures 10 & 11 — Range-lookup time breakdown (Synthetic – Sigmoid).
+
+Paper result: with logical pointers both Hermit and the baseline spend over
+90% of their time in the primary-index lookup; with physical pointers the
+bottleneck shifts to the base-table access.  Hermit's own TRS-Tree phase is a
+negligible fraction in every configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import SYNTHETIC_SELECTIVITIES, breakdown_sweep, build_synthetic_setup
+from repro.bench.report import format_figure
+from repro.storage.identifiers import PointerScheme
+
+
+@pytest.fixture(scope="module", params=[PointerScheme.LOGICAL,
+                                        PointerScheme.PHYSICAL],
+                ids=["logical", "physical"])
+def sigmoid_setup(request):
+    return build_synthetic_setup("sigmoid", num_tuples=30_000,
+                                 pointer_scheme=request.param), request.param
+
+
+@pytest.mark.figure("fig10")
+def test_fig10_hermit_breakdown(benchmark, sigmoid_setup):
+    setup, scheme = sigmoid_setup
+    figure = benchmark.pedantic(
+        lambda: breakdown_sweep(setup, "HERMIT", SYNTHETIC_SELECTIVITIES,
+                                f"Figure 10 HERMIT ({scheme.value})"),
+        rounds=1, iterations=1)
+    print()
+    print(format_figure(figure))
+
+    trs_fractions = figure.series["TRS-Tree"].ys
+    # TRS-Tree navigation is cheap relative to the full lookup path, and its
+    # share shrinks as the selectivity (result size) grows.
+    assert trs_fractions[-1] < 0.5
+    assert trs_fractions[-1] <= trs_fractions[0] + 0.05
+    if scheme is PointerScheme.LOGICAL:
+        # Primary-index resolution dominates with logical pointers.
+        assert figure.series["Primary Index"].ys[-1] > 0.3
+    else:
+        assert figure.series["Primary Index"].ys[-1] == 0.0
+        assert figure.series["Base Table"].ys[-1] > 0.3
+
+
+@pytest.mark.figure("fig11")
+def test_fig11_baseline_breakdown(benchmark, sigmoid_setup):
+    setup, scheme = sigmoid_setup
+    figure = benchmark.pedantic(
+        lambda: breakdown_sweep(setup, "Baseline", SYNTHETIC_SELECTIVITIES,
+                                f"Figure 11 Baseline ({scheme.value})"),
+        rounds=1, iterations=1)
+    # For the baseline the "Host Index" share is its secondary B+-tree.
+    figure.notes.append("'Host Index' = the baseline's secondary index probe")
+    print()
+    print(format_figure(figure))
+
+    assert figure.series["TRS-Tree"].ys == [0.0] * len(SYNTHETIC_SELECTIVITIES)
+    if scheme is PointerScheme.LOGICAL:
+        assert figure.series["Primary Index"].ys[-1] > 0.3
+    else:
+        assert figure.series["Base Table"].ys[-1] > 0.3

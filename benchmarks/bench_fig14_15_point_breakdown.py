@@ -1,0 +1,75 @@
+"""Figures 14 & 15 — Point-lookup time breakdown vs. number of tuples.
+
+Paper result: with logical pointers Hermit spends an increasing share of its
+time in the primary-index lookup as the tuple count grows (more false
+positives to resolve), and compared to the baseline it spends a larger share
+on the base table because every fetched tuple must be validated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import build_synthetic_setup
+from repro.bench.harness import FigureData, run_point_batch
+from repro.bench.report import format_figure
+from repro.storage.identifiers import PointerScheme
+from repro.workloads.queries import point_queries
+
+TUPLE_COUNTS = [5_000, 15_000, 30_000]
+QUERIES = 150
+
+
+def breakdown_by_tuples(label: str, scheme: PointerScheme,
+                        figure_name: str) -> FigureData:
+    figure = FigureData(figure_name, "number of tuples", "fraction of time")
+    for count in TUPLE_COUNTS:
+        setup = build_synthetic_setup("sigmoid", num_tuples=count,
+                                      pointer_scheme=scheme)
+        values = point_queries(setup.dataset.columns["colC"], count=QUERIES,
+                               seed=14)
+        batch = run_point_batch(setup.mechanisms[label], values)
+        for phase, fraction in batch.breakdown.fractions().items():
+            figure.add_point(phase, count, fraction)
+    return figure
+
+
+@pytest.mark.figure("fig14")
+def test_fig14_hermit_point_breakdown_logical(benchmark):
+    figure = benchmark.pedantic(
+        lambda: breakdown_by_tuples("HERMIT", PointerScheme.LOGICAL,
+                                    "Figure 14 HERMIT (logical)"),
+        rounds=1, iterations=1)
+    print()
+    print(format_figure(figure))
+    assert figure.series["Primary Index"].ys[-1] > 0.05
+    # The TRS-Tree share must not grow with the tuple count (the extra time
+    # goes to resolving false positives downstream, not to tree navigation).
+    trs = figure.series["TRS-Tree"].ys
+    assert trs[-1] <= trs[0] + 0.1
+
+
+@pytest.mark.figure("fig14")
+def test_fig14_hermit_point_breakdown_physical(benchmark):
+    figure = benchmark.pedantic(
+        lambda: breakdown_by_tuples("HERMIT", PointerScheme.PHYSICAL,
+                                    "Figure 14 HERMIT (physical)"),
+        rounds=1, iterations=1)
+    print()
+    print(format_figure(figure))
+    assert figure.series["Primary Index"].ys == [0.0] * len(TUPLE_COUNTS)
+
+
+@pytest.mark.figure("fig15")
+def test_fig15_baseline_point_breakdown(benchmark):
+    figure = benchmark.pedantic(
+        lambda: breakdown_by_tuples("Baseline", PointerScheme.LOGICAL,
+                                    "Figure 15 Baseline (logical)"),
+        rounds=1, iterations=1)
+    print()
+    print(format_figure(figure))
+    assert figure.series["TRS-Tree"].ys == [0.0] * len(TUPLE_COUNTS)
+    # The baseline's point-lookup time is dominated by index navigation plus
+    # the primary-index hop; base-table access is a single fetch.
+    assert figure.series["Primary Index"].ys[-1] + figure.series[
+        "Host Index"].ys[-1] > figure.series["Base Table"].ys[-1]

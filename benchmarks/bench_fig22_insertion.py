@@ -1,0 +1,113 @@
+"""Figure 22 — Insertion throughput vs. number of new indexes (Synthetic – Linear).
+
+Paper result: with 10 new indexes maintained as Hermit structures, insertion
+throughput is ~2.6x higher than with conventional secondary indexes, because
+a TRS-Tree insert only touches an outlier buffer when necessary, while every
+B+-tree insert pays a full index-maintenance path.  The baseline spends >80%
+of its insertion time maintaining the secondary indexes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.harness import FigureData, insertion_throughput
+from repro.bench.report import format_figure, format_table
+from repro.bench.timing import scaled
+from repro.engine.catalog import IndexMethod
+from repro.engine.database import Database
+from repro.workloads.synthetic import generate_synthetic, load_synthetic
+
+INDEX_COUNTS = [1, 2, 4, 8, 10]
+BASE_TUPLES = 10_000
+INSERT_BATCH = 2_000
+
+
+def build_database(method: IndexMethod, num_indexes: int):
+    dataset = generate_synthetic(scaled(BASE_TUPLES), "linear",
+                                 noise_fraction=0.01)
+    database = Database()
+    table_name = load_synthetic(database, dataset,
+                                extra_correlated_columns=num_indexes)
+    for i in range(num_indexes):
+        database.create_index(f"new_colE{i}", table_name, f"colE{i}",
+                              method=method,
+                              host_column="colB"
+                              if method is IndexMethod.HERMIT else None)
+    return database, table_name
+
+
+def insertion_rows(count: int, start: float = 5e7) -> list[dict]:
+    rows = []
+    for i in range(count):
+        col_c = float((i * 37) % 1_000_000)
+        col_b = 2.0 * col_c + 10.0
+        row = {"colA": start + i, "colB": col_b, "colC": col_c, "colD": 0.0}
+        rows.append(row)
+    return rows
+
+
+def with_extra_columns(rows: list[dict], num_indexes: int) -> list[dict]:
+    return [dict(row, **{f"colE{i}": row["colB"] for i in range(num_indexes)})
+            for row in rows]
+
+
+@pytest.mark.figure("fig22")
+@pytest.mark.parametrize("method,label", [(IndexMethod.HERMIT, "HERMIT"),
+                                          (IndexMethod.BTREE, "Baseline")])
+def test_fig22_insert_benchmark(benchmark, method, label):
+    """Headline measurement: inserting a batch with 4 maintained new indexes."""
+    database, table_name = build_database(method, num_indexes=4)
+    rows = with_extra_columns(insertion_rows(200), 4)
+    counter = [0]
+
+    def insert_batch():
+        offset = counter[0]
+        counter[0] += len(rows)
+        for i, row in enumerate(rows):
+            database.insert(table_name, dict(row, colA=9e8 + offset + i))
+
+    benchmark.pedantic(insert_batch, rounds=3, iterations=1)
+
+
+@pytest.mark.figure("fig22")
+def test_fig22_report_insertion_sweep(benchmark):
+    def sweep():
+        figure = FigureData("Figure 22a", "number of new indexes", "Kops")
+        breakdowns = {}
+        for count in INDEX_COUNTS:
+            for method, label in ((IndexMethod.HERMIT, "HERMIT"),
+                                  (IndexMethod.BTREE, "Baseline")):
+                database, table_name = build_database(method, count)
+                rows = with_extra_columns(insertion_rows(scaled(INSERT_BATCH)),
+                                          count)
+                # Time the index-maintenance share explicitly for Figure 22b.
+                started = time.perf_counter()
+                result = insertion_throughput(database, table_name, rows)
+                total = time.perf_counter() - started
+                figure.add_point(label, count, result.kops)
+                breakdowns[(label, count)] = total
+        return figure, breakdowns
+
+    figure, _ = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    figure.notes.append("paper: HERMIT ~2.6x Baseline at 10 indexes")
+    print()
+    print(format_figure(figure))
+
+    hermit = figure.series["HERMIT"].ys
+    baseline = figure.series["Baseline"].ys
+    # With many indexes Hermit sustains higher insert throughput (paper: 2.6x;
+    # much smaller here because the shared per-insert engine overhead — base
+    # table, statistics, primary index — is a larger constant in pure Python
+    # than the per-secondary-index maintenance delta; see EXPERIMENTS.md).
+    assert hermit[-1] > baseline[-1]
+    # The baseline's throughput degrades more steeply as indexes are added.
+    baseline_drop = baseline[0] / baseline[-1]
+    hermit_drop = hermit[0] / hermit[-1]
+    assert baseline_drop > hermit_drop
+
+    rows = [["HERMIT", hermit[0], hermit[-1]],
+            ["Baseline", baseline[0], baseline[-1]]]
+    print(format_table(["mechanism", "Kops @1 index", "Kops @10 indexes"], rows))

@@ -1,0 +1,84 @@
+"""Table 1 — Training time of leaf models: linear regression vs. kernel models.
+
+Paper result: fitting a linear regression takes fractions of a millisecond to
+a few milliseconds (0.42 ms at 1K to 3.2 ms at 100K tuples), while SVR with
+RBF/linear/polynomial kernels is at least 200x slower and becomes intractable
+(>60 s) at 100K tuples.  We substitute kernel ridge regression for libsvm-SVR
+(same dense-kernel O(n³) training profile, see DESIGN.md) and cap the kernel
+models at 4K tuples so the benchmark terminates quickly; the scaling trend is
+already unambiguous there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.report import format_table
+from repro.mlmodels.kernel import KernelRegressionModel
+from repro.mlmodels.linear import LinearRegressionModel
+
+LINEAR_SIZES = [1_000, 10_000, 100_000]
+KERNEL_SIZES = [1_000, 2_000, 4_000]
+
+
+def training_data(count: int, seed: int = 1):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.0, 1000.0, size=count)
+    y = 2.0 * x + 10.0 + rng.normal(0.0, 5.0, size=count)
+    return x, y
+
+
+@pytest.mark.figure("table1")
+def test_table1_linear_regression_benchmark(benchmark):
+    x, y = training_data(10_000)
+    result = benchmark(lambda: LinearRegressionModel().timed_fit(x, y))
+    assert result.mean_absolute_error < 20.0
+
+
+@pytest.mark.figure("table1")
+@pytest.mark.parametrize("kernel", ["rbf", "linear", "polynomial"])
+def test_table1_kernel_regression_benchmark(benchmark, kernel):
+    x, y = training_data(1_000)
+    model = KernelRegressionModel(kernel=kernel, regularization=1.0)
+    result = benchmark.pedantic(lambda: model.timed_fit(x, y),
+                                rounds=2, iterations=1)
+    assert result.seconds > 0
+
+
+@pytest.mark.figure("table1")
+def test_table1_report_training_times(benchmark):
+    def sweep():
+        rows = []
+        for size in LINEAR_SIZES:
+            x, y = training_data(size)
+            rows.append(["linear regression", size,
+                         LinearRegressionModel().timed_fit(x, y).seconds])
+        for kernel in ("rbf", "linear", "polynomial"):
+            for size in KERNEL_SIZES:
+                x, y = training_data(size)
+                model = KernelRegressionModel(kernel=kernel, regularization=1.0)
+                rows.append([f"kernel ({kernel})", size,
+                             model.timed_fit(x, y).seconds])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("== Table 1: model training time (seconds) ==")
+    print(format_table(["model", "tuples", "seconds"], rows))
+
+    linear_times = {size: seconds for model, size, seconds in rows
+                    if model == "linear regression"}
+    kernel_times = {(model, size): seconds for model, size, seconds in rows
+                    if model != "linear regression"}
+    # Linear regression stays in the milliseconds range even at 100K tuples.
+    assert linear_times[100_000] < 0.1
+    # Every kernel model is orders of magnitude slower than OLS at 1K tuples
+    # (the paper reports >=200x; we require >=50x to absorb BLAS variance).
+    for kernel in ("rbf", "linear", "polynomial"):
+        assert kernel_times[(f"kernel ({kernel})", 1_000)] > 50 * linear_times[1_000]
+    # Kernel training time grows superlinearly with the training-set size.
+    for kernel in ("rbf", "linear", "polynomial"):
+        small = kernel_times[(f"kernel ({kernel})", 1_000)]
+        large = kernel_times[(f"kernel ({kernel})", 4_000)]
+        assert large > 3 * small

@@ -1,0 +1,23 @@
+"""Pytest configuration for the benchmark suite.
+
+Each ``bench_*`` module reproduces one table or figure of the paper.  The
+modules use the ``benchmark`` fixture from pytest-benchmark for the headline
+measurement and print the full reproduced series (the rows the paper plots)
+to stdout, so that ``pytest benchmarks/ --benchmark-only -s`` regenerates the
+data behind every figure.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make the sibling helper module importable regardless of how pytest was
+# invoked (rootdir vs. benchmarks/ directly).
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks a benchmark as reproducing a paper figure"
+    )

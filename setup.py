@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment has neither network access nor the ``wheel`` package,
+so PEP 517 editable installs cannot build a wheel.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .`` on machines with ``wheel`` available) work either way.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

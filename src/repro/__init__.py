@@ -1,0 +1,54 @@
+"""repro — a reproduction of Hermit (SIGMOD 2019).
+
+Hermit is a succinct secondary indexing mechanism that exploits column
+correlations: instead of building a complete B+-tree on a target column, it
+builds a tiny Tiered Regression Search Tree (TRS-Tree) that maps target-column
+predicates onto an existing *host* index of a correlated column, then removes
+false positives by validating against the base table.
+
+The package layers, bottom-up:
+
+* :mod:`repro.storage` — columnar tables, tuple identifiers, pages/buffer pool.
+* :mod:`repro.index` — in-memory and paged B+-trees, hash and composite indexes.
+* :mod:`repro.core` — the TRS-Tree and the Hermit mechanism (the paper's
+  contribution).
+* :mod:`repro.baselines` — the conventional secondary index and Correlation Maps.
+* :mod:`repro.correlation` — correlation functions, discovery, host advisor.
+* :mod:`repro.engine` — the database facade tying everything together.
+* :mod:`repro.workloads` — the Synthetic, Stock and Sensor applications.
+* :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
+"""
+
+from repro.core import (
+    DEFAULT_CONFIG,
+    HermitIndex,
+    LinearModel,
+    LookupBreakdown,
+    TRSTree,
+    TRSTreeConfig,
+)
+from repro.engine import Database, IndexMethod, QueryResult, RangePredicate
+from repro.index import BPlusTree, KeyRange
+from repro.storage import PointerScheme, Table, TableSchema, numeric_schema
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BPlusTree",
+    "DEFAULT_CONFIG",
+    "Database",
+    "HermitIndex",
+    "IndexMethod",
+    "KeyRange",
+    "LinearModel",
+    "LookupBreakdown",
+    "PointerScheme",
+    "QueryResult",
+    "RangePredicate",
+    "TRSTree",
+    "TRSTreeConfig",
+    "Table",
+    "TableSchema",
+    "numeric_schema",
+    "__version__",
+]

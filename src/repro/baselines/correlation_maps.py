@@ -1,0 +1,182 @@
+"""Correlation Maps (CM) — the appendix comparator.
+
+CM (Kimura et al., VLDB 2009) also exploits a column correlation to avoid a
+complete secondary index, but with a bucketised map instead of regression
+models: the target and host domains are each divided into fixed-width buckets,
+and the structure stores, for every target bucket, the set of host buckets
+that contain at least one co-occurring value.  A lookup expands the predicate
+to whole target buckets, unions the mapped host buckets into host ranges,
+probes the host index and validates against the base table — so, like Hermit,
+CM returns exact results but pays validation for its false positives.
+
+The paper's appendix highlights two CM weaknesses that this implementation
+deliberately preserves: (1) there is no outlier handling, so sparse noise
+inflates the bucket mapping (every noisy tuple drags a host bucket into its
+target bucket's set), and (2) deletions cannot cheaply shrink the mapping
+(removing a pair might orphan a bucket link only discoverable by rescanning),
+so deletes leave the mapping untouched — still correct, just less precise.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.hermit import HermitLookupResult, LookupBreakdown
+from repro.errors import ConfigurationError, QueryError
+from repro.index.base import Index, KeyRange
+from repro.storage.identifiers import PointerScheme
+from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
+from repro.storage.table import Table
+
+
+class CorrelationMap:
+    """A CM-style bucketised secondary access method on ``target_column``.
+
+    Args:
+        table: The base table.
+        target_column: Column the queries filter on.
+        host_column: Correlated column with an existing complete index.
+        host_index: The complete index on ``host_column``.
+        target_bucket_width: Width (in value units) of the target buckets —
+            the paper's "bucket size in target column" (CM-16, CM-64, ...).
+        host_bucket_width: Width of the host buckets.
+        primary_index: Primary index, required for logical pointers.
+        pointer_scheme: Tuple-identifier scheme of the host index entries.
+        size_model: Analytic memory model.
+    """
+
+    def __init__(self, table: Table, target_column: str, host_column: str,
+                 host_index: Index, target_bucket_width: float,
+                 host_bucket_width: float, primary_index: Index | None = None,
+                 pointer_scheme: PointerScheme = PointerScheme.PHYSICAL,
+                 size_model: SizeModel = DEFAULT_SIZE_MODEL) -> None:
+        if target_bucket_width <= 0 or host_bucket_width <= 0:
+            raise ConfigurationError("bucket widths must be positive")
+        if pointer_scheme.needs_primary_lookup and primary_index is None:
+            raise QueryError(
+                "logical pointers require a primary index to resolve locations"
+            )
+        self.table = table
+        self.target_column = target_column
+        self.host_column = host_column
+        self.host_index = host_index
+        self.primary_index = primary_index
+        self.pointer_scheme = pointer_scheme
+        self.target_bucket_width = float(target_bucket_width)
+        self.host_bucket_width = float(host_bucket_width)
+        self._size_model = size_model
+        self._mapping: dict[int, set[int]] = defaultdict(set)
+        self.cumulative = LookupBreakdown()
+
+    # ----------------------------------------------------------- construction
+
+    def build(self) -> None:
+        """Populate the bucket mapping from the current table contents."""
+        _, targets, hosts = self.table.project([self.target_column, self.host_column])
+        self._mapping.clear()
+        if len(targets) == 0:
+            return
+        target_buckets = np.floor(targets / self.target_bucket_width).astype(np.int64)
+        host_buckets = np.floor(hosts / self.host_bucket_width).astype(np.int64)
+        for target_bucket, host_bucket in zip(target_buckets, host_buckets):
+            self._mapping[int(target_bucket)].add(int(host_bucket))
+
+    # ----------------------------------------------------------------- lookup
+
+    def lookup_range(self, low: float, high: float) -> HermitLookupResult:
+        """Answer ``low <= target_column <= high`` exactly."""
+        predicate = KeyRange(low, high)
+        breakdown = LookupBreakdown(lookups=1)
+
+        started = time.perf_counter()
+        host_ranges = self._host_ranges_for(predicate)
+        breakdown.trs_seconds += time.perf_counter() - started
+
+        started = time.perf_counter()
+        tids = set(self.host_index.range_search_many(host_ranges))
+        breakdown.host_index_seconds += time.perf_counter() - started
+
+        locations = self._resolve_locations(tids, breakdown)
+
+        started = time.perf_counter()
+        matches: list[int] = []
+        for location in locations:
+            if not self.table.is_live(location):
+                continue
+            value = float(self.table.value(location, self.target_column))
+            if predicate.contains(value):
+                matches.append(location)
+        breakdown.base_table_seconds += time.perf_counter() - started
+
+        breakdown.candidates += len(locations)
+        breakdown.results += len(matches)
+        self.cumulative.merge(breakdown)
+        return HermitLookupResult(locations=matches, breakdown=breakdown)
+
+    def lookup_point(self, value: float) -> HermitLookupResult:
+        """Answer ``target_column == value``."""
+        return self.lookup_range(value, value)
+
+    def _host_ranges_for(self, predicate: KeyRange) -> list[KeyRange]:
+        first = int(np.floor(predicate.low / self.target_bucket_width))
+        last = int(np.floor(predicate.high / self.target_bucket_width))
+        host_buckets: set[int] = set()
+        for target_bucket in range(first, last + 1):
+            host_buckets.update(self._mapping.get(target_bucket, ()))
+        ranges = [
+            KeyRange(bucket * self.host_bucket_width,
+                     (bucket + 1) * self.host_bucket_width)
+            for bucket in host_buckets
+        ]
+        return KeyRange.union(ranges)
+
+    def _resolve_locations(self, tids, breakdown: LookupBreakdown) -> list[int]:
+        if self.pointer_scheme is PointerScheme.PHYSICAL:
+            return [int(tid) for tid in tids]
+        started = time.perf_counter()
+        locations: list[int] = []
+        assert self.primary_index is not None
+        for primary_key in tids:
+            locations.extend(int(loc) for loc in self.primary_index.search(primary_key))
+        breakdown.primary_index_seconds += time.perf_counter() - started
+        return locations
+
+    # ------------------------------------------------------------ maintenance
+
+    def insert(self, row: dict, location: int) -> None:
+        """Extend the mapping for a newly inserted row."""
+        target_bucket = int(np.floor(float(row[self.target_column])
+                                     / self.target_bucket_width))
+        host_bucket = int(np.floor(float(row[self.host_column])
+                                   / self.host_bucket_width))
+        self._mapping[target_bucket].add(host_bucket)
+
+    def delete(self, row: dict, location: int) -> None:
+        """Deletion keeps the mapping unchanged (documented CM limitation)."""
+
+    def update(self, old_row: dict, new_row: dict, location: int) -> None:
+        """Updates only extend the mapping for the new values."""
+        self.insert(new_row, location)
+
+    # ------------------------------------------------------------- accounting
+
+    @property
+    def num_bucket_links(self) -> int:
+        """Number of (target bucket → host bucket) links stored."""
+        return sum(len(buckets) for buckets in self._mapping.values())
+
+    def memory_bytes(self) -> int:
+        """Analytic size: one hash entry per bucket link plus per-bucket headers."""
+        links = self.num_bucket_links
+        buckets = len(self._mapping)
+        return (
+            self._size_model.hash_table_bytes(links)
+            + buckets * self._size_model.node_header_bytes
+        )
+
+    def reset_breakdown(self) -> None:
+        """Clear the cumulative breakdown counters."""
+        self.cumulative = LookupBreakdown()

@@ -1,0 +1,141 @@
+"""Conventional B+-tree secondary indexing mechanism (the paper's "Baseline").
+
+This is the comparator used in every throughput and memory experiment: a
+complete B+-tree on the target column whose entries are tuple identifiers
+under either pointer scheme.  Lookups go secondary index → (primary index) →
+base table, and the per-phase breakdown mirrors Figures 11 and 15.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.hermit import HermitLookupResult, LookupBreakdown
+from repro.errors import QueryError
+from repro.index.base import Index, KeyRange
+from repro.index.bptree import BPlusTree
+from repro.storage.identifiers import PointerScheme, TupleId
+from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
+from repro.storage.table import Table
+
+
+class BaselineSecondaryIndex:
+    """A complete B+-tree secondary index on ``target_column``.
+
+    Exposes the same lookup/maintenance surface as
+    :class:`~repro.core.hermit.HermitIndex` so the engine, the benchmarks and
+    the property tests can swap the two mechanisms freely.
+
+    Args:
+        table: The base table.
+        target_column: Column the index is built on.
+        primary_index: Index from primary-key value to row location; required
+            for the logical pointer scheme.
+        pointer_scheme: Tuple-identifier scheme stored in the index.
+        node_capacity: B+-tree node capacity.
+        size_model: Analytic memory model.
+    """
+
+    def __init__(self, table: Table, target_column: str,
+                 primary_index: Index | None = None,
+                 pointer_scheme: PointerScheme = PointerScheme.PHYSICAL,
+                 node_capacity: int = 32,
+                 size_model: SizeModel = DEFAULT_SIZE_MODEL) -> None:
+        if pointer_scheme.needs_primary_lookup and primary_index is None:
+            raise QueryError(
+                "logical pointers require a primary index to resolve locations"
+            )
+        self.table = table
+        self.target_column = target_column
+        self.primary_index = primary_index
+        self.pointer_scheme = pointer_scheme
+        self.index = BPlusTree(node_capacity=node_capacity, size_model=size_model)
+        self.cumulative = LookupBreakdown()
+
+    # ----------------------------------------------------------- construction
+
+    def build(self) -> None:
+        """Bulk-load the B+-tree from the current table contents."""
+        slots, targets = self.table.project([self.target_column])
+        if self.pointer_scheme is PointerScheme.PHYSICAL:
+            tids = slots
+        else:
+            tids = self.table.values(slots, self.table.schema.primary_key)
+        pairs = [(float(key), self._native(tid)) for key, tid in zip(targets, tids)]
+        self.index.bulk_load(pairs)
+
+    # ----------------------------------------------------------------- lookup
+
+    def lookup_range(self, low: float, high: float) -> HermitLookupResult:
+        """Answer ``low <= target_column <= high``."""
+        predicate = KeyRange(low, high)
+        breakdown = LookupBreakdown(lookups=1)
+
+        started = time.perf_counter()
+        tids = self.index.range_search(predicate)
+        breakdown.host_index_seconds += time.perf_counter() - started
+
+        locations = self._resolve_locations(tids, breakdown)
+
+        started = time.perf_counter()
+        matches = [loc for loc in locations if self.table.is_live(loc)]
+        # The baseline still touches the base table once per match to produce
+        # the query result (Figures 11/15 charge this as "Base Table").
+        for location in matches:
+            self.table.value(location, self.target_column)
+        breakdown.base_table_seconds += time.perf_counter() - started
+
+        breakdown.candidates += len(locations)
+        breakdown.results += len(matches)
+        self.cumulative.merge(breakdown)
+        return HermitLookupResult(locations=matches, breakdown=breakdown)
+
+    def lookup_point(self, value: float) -> HermitLookupResult:
+        """Answer ``target_column == value``."""
+        return self.lookup_range(value, value)
+
+    def _resolve_locations(self, tids: list[TupleId],
+                           breakdown: LookupBreakdown) -> list[int]:
+        if self.pointer_scheme is PointerScheme.PHYSICAL:
+            return [int(tid) for tid in tids]
+        started = time.perf_counter()
+        locations: list[int] = []
+        assert self.primary_index is not None
+        for primary_key in tids:
+            locations.extend(int(loc) for loc in self.primary_index.search(primary_key))
+        breakdown.primary_index_seconds += time.perf_counter() - started
+        return locations
+
+    # ------------------------------------------------------------ maintenance
+
+    def insert(self, row: dict, location: int) -> None:
+        """Index a newly inserted row."""
+        self.index.insert(float(row[self.target_column]), self._tid_for(row, location))
+
+    def delete(self, row: dict, location: int) -> None:
+        """Remove an index entry for a deleted row."""
+        self.index.delete(float(row[self.target_column]), self._tid_for(row, location))
+
+    def update(self, old_row: dict, new_row: dict, location: int) -> None:
+        """Re-index a row whose target value changed."""
+        self.delete(old_row, location)
+        self.insert(new_row, location)
+
+    def _tid_for(self, row: dict, location: int) -> TupleId:
+        if self.pointer_scheme is PointerScheme.PHYSICAL:
+            return location
+        return row[self.table.schema.primary_key]
+
+    # ------------------------------------------------------------- accounting
+
+    def memory_bytes(self) -> int:
+        """Analytic size of the secondary index in bytes."""
+        return self.index.memory_bytes()
+
+    def reset_breakdown(self) -> None:
+        """Clear the cumulative breakdown counters."""
+        self.cumulative = LookupBreakdown()
+
+    @staticmethod
+    def _native(tid):
+        return tid.item() if hasattr(tid, "item") else tid

@@ -1,0 +1,37 @@
+"""Benchmark harness: timing, experiment runners, text reporting."""
+
+from repro.bench.harness import (
+    FigureData,
+    QueryBatchResult,
+    SweepSeries,
+    construction_time,
+    insertion_throughput,
+    run_point_batch,
+    run_query_batch,
+)
+from repro.bench.report import format_figure, format_memory_report, format_table
+from repro.bench.timing import (
+    SimulatedClock,
+    ThroughputResult,
+    scale_factor,
+    scaled,
+    stopwatch,
+)
+
+__all__ = [
+    "FigureData",
+    "QueryBatchResult",
+    "SimulatedClock",
+    "SweepSeries",
+    "ThroughputResult",
+    "construction_time",
+    "format_figure",
+    "format_memory_report",
+    "format_table",
+    "insertion_throughput",
+    "run_point_batch",
+    "run_query_batch",
+    "scale_factor",
+    "scaled",
+    "stopwatch",
+]

@@ -1,0 +1,134 @@
+"""Experiment harness shared by all benchmark scripts.
+
+Each benchmark under ``benchmarks/`` reproduces one table or figure of the
+paper; they all reduce to a handful of primitives implemented here: run a
+query batch against a mechanism and measure throughput + breakdown, sweep a
+parameter (selectivity, tuple count, error_bound, noise, number of indexes),
+and collect memory breakdowns.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.timing import ThroughputResult
+from repro.core.hermit import LookupBreakdown
+from repro.workloads.queries import RangeQuery
+
+
+@dataclass
+class QueryBatchResult:
+    """Throughput and accumulated breakdown of one query batch."""
+
+    throughput: ThroughputResult
+    breakdown: LookupBreakdown
+    total_results: int = 0
+
+    @property
+    def false_positive_ratio(self) -> float:
+        """Fraction of candidate tuples rejected by validation."""
+        return self.breakdown.false_positive_ratio
+
+
+def run_query_batch(mechanism, queries: list[RangeQuery]) -> QueryBatchResult:
+    """Run range queries against a mechanism and collect throughput + breakdown.
+
+    Args:
+        mechanism: Anything exposing ``lookup_range(low, high)`` returning a
+            result with ``locations`` and ``breakdown`` (HermitIndex,
+            BaselineSecondaryIndex, CorrelationMap).
+        queries: The query batch.
+    """
+    breakdown = LookupBreakdown()
+    total_results = 0
+    started = time.perf_counter()
+    for query in queries:
+        result = mechanism.lookup_range(query.low, query.high)
+        breakdown.merge(result.breakdown)
+        total_results += len(result.locations)
+    elapsed = time.perf_counter() - started
+    return QueryBatchResult(
+        throughput=ThroughputResult(operations=len(queries), seconds=elapsed),
+        breakdown=breakdown,
+        total_results=total_results,
+    )
+
+
+def run_point_batch(mechanism, values: list[float]) -> QueryBatchResult:
+    """Run point queries against a mechanism."""
+    queries = [RangeQuery(value, value) for value in values]
+    return run_query_batch(mechanism, queries)
+
+
+@dataclass
+class SweepSeries:
+    """One labelled series of a parameter sweep (one line of a paper figure)."""
+
+    label: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one (x, y) point."""
+        self.xs.append(float(x))
+        self.ys.append(float(y))
+
+    def as_rows(self) -> list[tuple[float, float]]:
+        """Return the series as (x, y) rows."""
+        return list(zip(self.xs, self.ys))
+
+
+@dataclass
+class FigureData:
+    """All series of one reproduced figure, plus free-form notes."""
+
+    name: str
+    x_label: str
+    y_label: str
+    series: dict[str, SweepSeries] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def series_for(self, label: str) -> SweepSeries:
+        """Get or create the series with the given label."""
+        if label not in self.series:
+            self.series[label] = SweepSeries(label)
+        return self.series[label]
+
+    def add_point(self, label: str, x: float, y: float) -> None:
+        """Append one point to the labelled series."""
+        self.series_for(label).add(x, y)
+
+    def ratio(self, numerator: str, denominator: str) -> list[float]:
+        """Point-wise ratio between two series (for who-wins checks)."""
+        top = self.series[numerator]
+        bottom = self.series[denominator]
+        return [
+            (a / b if b else float("inf"))
+            for a, b in zip(top.ys, bottom.ys)
+        ]
+
+
+def insertion_throughput(database, table_name: str, rows: list[dict]) -> ThroughputResult:
+    """Measure end-to-end insertion throughput through the database facade.
+
+    Includes primary-index and base-table maintenance, exactly as the paper's
+    Figure 22 does.
+    """
+    started = time.perf_counter()
+    for row in rows:
+        database.insert(table_name, row)
+    elapsed = time.perf_counter() - started
+    return ThroughputResult(operations=len(rows), seconds=elapsed)
+
+
+def construction_time(build_callable, repetitions: int = 1) -> float:
+    """Median wall-clock seconds of ``build_callable()`` over ``repetitions``."""
+    samples = []
+    for _ in range(max(1, repetitions)):
+        started = time.perf_counter()
+        build_callable()
+        samples.append(time.perf_counter() - started)
+    return float(np.median(samples))

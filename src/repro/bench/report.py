@@ -1,0 +1,68 @@
+"""Plain-text rendering of reproduced tables and figures.
+
+The paper presents its results as plots; in a terminal-only reproduction we
+print the underlying series as aligned text tables so the rows can be compared
+directly against the paper's reported numbers and against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import FigureData
+from repro.storage.memory import BYTES_PER_MB, MemoryReport
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Render an aligned text table."""
+    columns = [
+        [str(header)] + [_format_cell(row[i]) for row in rows]
+        for i, header in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(
+            _format_cell(value).ljust(width) for value, width in zip(row, widths)
+        ))
+    return "\n".join(lines)
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_figure(figure: FigureData) -> str:
+    """Render a :class:`FigureData` as a text table with one column per series."""
+    labels = list(figure.series)
+    headers = [figure.x_label] + [f"{label} ({figure.y_label})" for label in labels]
+    if not labels:
+        return f"== {figure.name} ==\n(no data)"
+    xs = figure.series[labels[0]].xs
+    rows = []
+    for position, x in enumerate(xs):
+        row = [x]
+        for label in labels:
+            series = figure.series[label]
+            row.append(series.ys[position] if position < len(series.ys) else "")
+        rows.append(row)
+    body = format_table(headers, rows)
+    notes = "\n".join(f"note: {note}" for note in figure.notes)
+    title = f"== {figure.name} =="
+    return "\n".join(part for part in (title, body, notes) if part)
+
+
+def format_memory_report(report: MemoryReport, title: str = "memory") -> str:
+    """Render a memory breakdown as a text table with MB values and fractions."""
+    rows = []
+    for label, num_bytes in sorted(report.components.items()):
+        rows.append([label, num_bytes / BYTES_PER_MB, report.fraction(label)])
+    rows.append(["total", report.total_mb, 1.0])
+    return f"== {title} ==\n" + format_table(["component", "MB", "fraction"], rows)

@@ -1,0 +1,96 @@
+"""Timing utilities for the benchmark harness."""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+def scale_factor(default: float = 1.0) -> float:
+    """Global benchmark scale factor, read from the ``REPRO_SCALE`` env var.
+
+    The benchmarks default to workload sizes small enough for pure Python;
+    setting ``REPRO_SCALE=10`` (for example) multiplies every tuple count by
+    ten to move the experiments closer to the paper's scale.
+    """
+    raw = os.environ.get("REPRO_SCALE")
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
+def scaled(count: int, minimum: int = 1) -> int:
+    """Apply the global scale factor to a tuple/query count."""
+    return max(minimum, int(count * scale_factor()))
+
+
+@dataclass
+class ThroughputResult:
+    """Outcome of running a batch of operations against one mechanism."""
+
+    operations: int
+    seconds: float
+
+    @property
+    def ops_per_second(self) -> float:
+        """Operations per second (0 when no time elapsed)."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.operations / self.seconds
+
+    @property
+    def kops(self) -> float:
+        """Thousands of operations per second, the unit most figures use."""
+        return self.ops_per_second / 1e3
+
+
+@contextmanager
+def stopwatch():
+    """Context manager yielding a mutable one-element list of elapsed seconds."""
+    holder = [0.0]
+    started = time.perf_counter()
+    try:
+        yield holder
+    finally:
+        holder[0] = time.perf_counter() - started
+
+
+class SimulatedClock:
+    """Combines wall-clock CPU time with charged simulated I/O latency.
+
+    Used by the disk-based experiments (Figure 24): throughput is reported
+    over ``cpu_seconds + io_seconds`` so that the relative cost of index
+    probes vs. heap fetches matches a machine with a real device, independent
+    of the speed of the machine running the reproduction.
+    """
+
+    def __init__(self, disk) -> None:
+        self._disk = disk
+        self._cpu_started: float | None = None
+        self._io_baseline = 0.0
+        self.cpu_seconds = 0.0
+        self.io_seconds = 0.0
+
+    def start(self) -> None:
+        """Begin a measurement window."""
+        self._cpu_started = time.perf_counter()
+        self._io_baseline = self._disk.simulated_io_seconds()
+
+    def stop(self) -> None:
+        """End the measurement window and accumulate both time components."""
+        if self._cpu_started is None:
+            return
+        self.cpu_seconds += time.perf_counter() - self._cpu_started
+        self.io_seconds += self._disk.simulated_io_seconds() - self._io_baseline
+        self._cpu_started = None
+
+    @property
+    def total_seconds(self) -> float:
+        """CPU plus simulated I/O seconds."""
+        return self.cpu_seconds + self.io_seconds

@@ -1,0 +1,34 @@
+"""Hermit core: the TRS-Tree and the Hermit secondary-indexing mechanism."""
+
+from repro.core.config import DEFAULT_CONFIG, TRSTreeConfig
+from repro.core.hermit import HermitIndex, HermitLookupResult, LookupBreakdown
+from repro.core.node import TRSInternalNode, TRSLeafNode, TRSNode
+from repro.core.outliers import OutlierBuffer
+from repro.core.regression import (
+    LinearModel,
+    epsilon_for_error_bound,
+    fit_leaf_model,
+    fit_linear,
+)
+from repro.core.reorganize import BackgroundReorganizer, ReorganizationStats
+from repro.core.trs_tree import TRSLookupResult, TRSTree
+
+__all__ = [
+    "BackgroundReorganizer",
+    "DEFAULT_CONFIG",
+    "HermitIndex",
+    "HermitLookupResult",
+    "LinearModel",
+    "LookupBreakdown",
+    "OutlierBuffer",
+    "ReorganizationStats",
+    "TRSInternalNode",
+    "TRSLeafNode",
+    "TRSLookupResult",
+    "TRSNode",
+    "TRSTree",
+    "TRSTreeConfig",
+    "epsilon_for_error_bound",
+    "fit_leaf_model",
+    "fit_linear",
+]

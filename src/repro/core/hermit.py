@@ -1,0 +1,271 @@
+"""The Hermit secondary-indexing mechanism.
+
+Hermit answers queries on a *target* column without a complete index on it.
+It combines (Section 5):
+
+1. a :class:`~repro.core.trs_tree.TRSTree` that translates the target-column
+   predicate into host-column ranges plus outlier tuple identifiers,
+2. the pre-existing *host index* on the correlated column,
+3. an optional *primary index* probe when the RDBMS uses logical pointers, and
+4. a *base-table validation* step that removes false positives.
+
+The class keeps a per-phase time breakdown for every lookup so the benchmark
+harness can regenerate the breakdown figures (Figures 10, 14, 24b).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import DEFAULT_CONFIG, TRSTreeConfig
+from repro.core.trs_tree import TRSTree
+from repro.errors import QueryError
+from repro.index.base import Index, KeyRange
+from repro.storage.identifiers import PointerScheme, TupleId
+from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
+from repro.storage.table import Table
+
+
+@dataclass
+class LookupBreakdown:
+    """Per-phase accounting of one or more Hermit/baseline lookups.
+
+    Time is wall-clock seconds accumulated per phase; the counters allow the
+    harness to compute false-positive ratios (Figure 17).
+    """
+
+    trs_seconds: float = 0.0
+    host_index_seconds: float = 0.0
+    primary_index_seconds: float = 0.0
+    base_table_seconds: float = 0.0
+    candidates: int = 0
+    results: int = 0
+    lookups: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total time across all phases."""
+        return (
+            self.trs_seconds + self.host_index_seconds
+            + self.primary_index_seconds + self.base_table_seconds
+        )
+
+    @property
+    def false_positive_ratio(self) -> float:
+        """Fraction of candidate tuples that validation rejected."""
+        if self.candidates == 0:
+            return 0.0
+        return (self.candidates - self.results) / self.candidates
+
+    def fractions(self) -> dict[str, float]:
+        """Phase shares of the total time, keyed like the paper's legends."""
+        total = self.total_seconds
+        if total == 0:
+            return {"TRS-Tree": 0.0, "Host Index": 0.0,
+                    "Primary Index": 0.0, "Base Table": 0.0}
+        return {
+            "TRS-Tree": self.trs_seconds / total,
+            "Host Index": self.host_index_seconds / total,
+            "Primary Index": self.primary_index_seconds / total,
+            "Base Table": self.base_table_seconds / total,
+        }
+
+    def merge(self, other: "LookupBreakdown") -> None:
+        """Accumulate another breakdown into this one."""
+        self.trs_seconds += other.trs_seconds
+        self.host_index_seconds += other.host_index_seconds
+        self.primary_index_seconds += other.primary_index_seconds
+        self.base_table_seconds += other.base_table_seconds
+        self.candidates += other.candidates
+        self.results += other.results
+        self.lookups += other.lookups
+
+
+@dataclass
+class HermitLookupResult:
+    """Result of one Hermit lookup."""
+
+    locations: list[int] = field(default_factory=list)
+    breakdown: LookupBreakdown = field(default_factory=LookupBreakdown)
+
+
+class HermitIndex:
+    """A Hermit secondary "index" on ``target_column``.
+
+    Args:
+        table: The base table the index serves.
+        target_column: Column the queries filter on (no complete index exists).
+        host_column: Correlated column with an existing complete index.
+        host_index: The complete index on ``host_column`` (keys are host
+            values, entries are tuple identifiers under ``pointer_scheme``).
+        primary_index: Index from primary-key value to row location; required
+            when ``pointer_scheme`` is LOGICAL.
+        pointer_scheme: Tuple-identifier scheme used by the indexes.
+        config: TRS-Tree parameters.
+        size_model: Analytic memory model.
+    """
+
+    def __init__(self, table: Table, target_column: str, host_column: str,
+                 host_index: Index, primary_index: Index | None = None,
+                 pointer_scheme: PointerScheme = PointerScheme.PHYSICAL,
+                 config: TRSTreeConfig = DEFAULT_CONFIG,
+                 size_model: SizeModel = DEFAULT_SIZE_MODEL) -> None:
+        if pointer_scheme.needs_primary_lookup and primary_index is None:
+            raise QueryError(
+                "logical pointers require a primary index to resolve locations"
+            )
+        self.table = table
+        self.target_column = target_column
+        self.host_column = host_column
+        self.host_index = host_index
+        self.primary_index = primary_index
+        self.pointer_scheme = pointer_scheme
+        self.trs_tree = TRSTree(config, size_model)
+        self._size_model = size_model
+        self.cumulative = LookupBreakdown()
+
+    # ----------------------------------------------------------- construction
+
+    def build(self, parallelism: int = 1) -> None:
+        """Construct the TRS-Tree from the current table contents."""
+        slots, targets, hosts = self.table.project(
+            [self.target_column, self.host_column]
+        )
+        tids = self._tids_for_slots(slots)
+        value_range = None
+        if len(targets):
+            value_range = KeyRange(float(np.min(targets)), float(np.max(targets)))
+        self.trs_tree.build(targets, hosts, tids, value_range, parallelism)
+
+    def _tids_for_slots(self, slots: np.ndarray) -> np.ndarray:
+        if self.pointer_scheme is PointerScheme.PHYSICAL:
+            return slots
+        primary = self.table.schema.primary_key
+        return self.table.values(slots, primary)
+
+    # ----------------------------------------------------------------- lookup
+
+    def lookup_range(self, low: float, high: float) -> HermitLookupResult:
+        """Answer ``low <= target_column <= high`` exactly (Figure 3 workflow)."""
+        predicate = KeyRange(low, high)
+        breakdown = LookupBreakdown(lookups=1)
+
+        started = time.perf_counter()
+        trs_result = self.trs_tree.lookup(predicate)
+        breakdown.trs_seconds += time.perf_counter() - started
+
+        started = time.perf_counter()
+        candidate_tids = set(self.host_index.range_search_many(trs_result.host_ranges))
+        candidate_tids.update(trs_result.outlier_tids)
+        breakdown.host_index_seconds += time.perf_counter() - started
+
+        locations = self._resolve_locations(candidate_tids, breakdown)
+
+        started = time.perf_counter()
+        matches = self._validate(locations, predicate)
+        breakdown.base_table_seconds += time.perf_counter() - started
+
+        breakdown.candidates += len(locations)
+        breakdown.results += len(matches)
+        self.cumulative.merge(breakdown)
+        return HermitLookupResult(locations=matches, breakdown=breakdown)
+
+    def lookup_point(self, value: float) -> HermitLookupResult:
+        """Answer ``target_column == value`` exactly."""
+        return self.lookup_range(value, value)
+
+    def _resolve_locations(self, tids: set[TupleId],
+                           breakdown: LookupBreakdown) -> list[int]:
+        """Map tuple identifiers to row locations (Step 3, optional)."""
+        if self.pointer_scheme is PointerScheme.PHYSICAL:
+            return [int(tid) for tid in tids]
+        started = time.perf_counter()
+        locations: list[int] = []
+        assert self.primary_index is not None
+        for primary_key in tids:
+            locations.extend(int(loc) for loc in self.primary_index.search(primary_key))
+        breakdown.primary_index_seconds += time.perf_counter() - started
+        return locations
+
+    def _validate(self, locations: list[int], predicate: KeyRange) -> list[int]:
+        """Step 4: fetch candidate tuples and keep only true matches."""
+        matches: list[int] = []
+        for location in locations:
+            if not self.table.is_live(location):
+                continue
+            value = self.table.value(location, self.target_column)
+            if predicate.contains(float(value)):
+                matches.append(location)
+        return matches
+
+    # ------------------------------------------------------------ maintenance
+
+    def insert(self, row: dict, location: int) -> None:
+        """Notify the index of a newly inserted row (already in the table)."""
+        tid = self._tid_for(row, location)
+        self.trs_tree.insert(
+            float(row[self.target_column]), float(row[self.host_column]), tid
+        )
+
+    def delete(self, row: dict, location: int) -> None:
+        """Notify the index that ``row`` at ``location`` was deleted."""
+        tid = self._tid_for(row, location)
+        self.trs_tree.delete(
+            float(row[self.target_column]), float(row[self.host_column]), tid
+        )
+
+    def update(self, old_row: dict, new_row: dict, location: int) -> None:
+        """Notify the index that a row changed in place."""
+        tid = self._tid_for(new_row, location)
+        self.trs_tree.update(
+            float(old_row[self.target_column]), float(old_row[self.host_column]),
+            float(new_row[self.target_column]), float(new_row[self.host_column]),
+            tid,
+        )
+
+    def _tid_for(self, row: dict, location: int) -> TupleId:
+        if self.pointer_scheme is PointerScheme.PHYSICAL:
+            return location
+        return row[self.table.schema.primary_key]
+
+    # --------------------------------------------------------- reorganization
+
+    @property
+    def pending_reorganizations(self) -> int:
+        """Number of TRS-Tree nodes flagged for reorganization."""
+        return self.trs_tree.pending_reorganizations
+
+    def data_provider(self):
+        """Return the base-table data provider used by reorganization."""
+        def provider(key_range: KeyRange):
+            slots, targets, hosts = self.table.project(
+                [self.target_column, self.host_column]
+            )
+            mask = (targets >= key_range.low) & (targets <= key_range.high)
+            return targets[mask], hosts[mask], self._tids_for_slots(slots[mask])
+        return provider
+
+    def reorganize(self, max_candidates: int | None = None) -> int:
+        """Run pending TRS-Tree reorganizations against the base table."""
+        return self.trs_tree.reorganize(self.data_provider(), max_candidates)
+
+    def reorganize_children(self, child_indices) -> None:
+        """Force a rebuild of selected first-level subtrees (Figure 23)."""
+        self.trs_tree.reorganize_children(self.data_provider(), child_indices)
+
+    # ------------------------------------------------------------- accounting
+
+    def memory_bytes(self) -> int:
+        """Size of the Hermit structure itself (the TRS-Tree only).
+
+        The host index and primary index are *pre-existing* structures shared
+        with the rest of the database, exactly as in the paper's accounting.
+        """
+        return self.trs_tree.memory_bytes()
+
+    def reset_breakdown(self) -> None:
+        """Clear the cumulative breakdown counters."""
+        self.cumulative = LookupBreakdown()

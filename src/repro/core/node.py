@@ -1,0 +1,177 @@
+"""TRS-Tree node types.
+
+A TRS-Tree is a k-ary tree over the *target* column's value domain.  Internal
+nodes only navigate: they split their range into ``node_fanout`` equal-width
+sub-ranges, one per child.  Leaf nodes carry the actual data mapping: a fitted
+:class:`~repro.core.regression.LinearModel` plus an
+:class:`~repro.core.outliers.OutlierBuffer` for the tuples the model does not
+cover.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.outliers import OutlierBuffer
+from repro.core.regression import LinearModel
+from repro.index.base import KeyRange
+from repro.storage.identifiers import TupleId
+from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
+
+
+class TRSNode:
+    """Common state of leaf and internal TRS-Tree nodes."""
+
+    __slots__ = ("key_range", "height", "parent")
+
+    def __init__(self, key_range: KeyRange, height: int,
+                 parent: "TRSInternalNode | None" = None) -> None:
+        self.key_range = key_range
+        self.height = height
+        self.parent = parent
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node is a leaf."""
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["TRSNode"]:
+        """Depth-first iteration over the subtree rooted at this node."""
+        raise NotImplementedError
+
+
+class TRSLeafNode(TRSNode):
+    """A leaf: linear model + outlier buffer over a target sub-range.
+
+    Attributes:
+        model: The fitted linear mapping from target to host values.
+        outliers: Tuples not covered by ``model``.
+        num_covered: Number of tuples in the leaf's range at (re)build time.
+        num_inserted: Tuples inserted into the range since the last rebuild.
+        num_deleted: Tuples deleted from the range since the last rebuild.
+    """
+
+    __slots__ = ("model", "outliers", "num_covered", "num_inserted", "num_deleted")
+
+    def __init__(self, key_range: KeyRange, height: int, model: LinearModel,
+                 size_model: SizeModel = DEFAULT_SIZE_MODEL,
+                 parent: "TRSInternalNode | None" = None) -> None:
+        super().__init__(key_range, height, parent)
+        self.model = model
+        self.outliers = OutlierBuffer(size_model)
+        self.num_covered = 0
+        self.num_inserted = 0
+        self.num_deleted = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    @property
+    def population(self) -> int:
+        """Best estimate of the number of live tuples in the leaf's range."""
+        return max(0, self.num_covered + self.num_inserted - self.num_deleted)
+
+    def get_host_range(self, target_range: KeyRange) -> KeyRange:
+        """Host-column range predicted for ``target_range`` (clipped to the leaf)."""
+        return self.model.host_range(target_range)
+
+    def covers(self, target_value: float, host_value: float) -> bool:
+        """Whether the model's confidence band covers ``(target, host)``."""
+        return self.model.covers(target_value, host_value)
+
+    def add_outlier(self, target_value: float, tid: TupleId) -> None:
+        """Store a tuple the model cannot cover."""
+        self.outliers.add(target_value, tid)
+
+    def outlier_ratio(self) -> float:
+        """Current ratio of outliers to tuples in the leaf's range."""
+        population = self.population
+        if population <= 0:
+            return 0.0
+        return len(self.outliers) / population
+
+    def deleted_ratio(self) -> float:
+        """Ratio of deletions since the last rebuild to the build population."""
+        if self.num_covered <= 0:
+            return 0.0
+        return self.num_deleted / self.num_covered
+
+    def walk(self) -> Iterator[TRSNode]:
+        yield self
+
+    def __repr__(self) -> str:
+        return (
+            f"TRSLeafNode(range=[{self.key_range.low:.3g}, {self.key_range.high:.3g}], "
+            f"beta={self.model.beta:.3g}, outliers={len(self.outliers)})"
+        )
+
+
+class TRSInternalNode(TRSNode):
+    """An internal node routing lookups to its equal-width children."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, key_range: KeyRange, height: int,
+                 parent: "TRSInternalNode | None" = None) -> None:
+        super().__init__(key_range, height, parent)
+        self.children: list[TRSNode] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def child_for(self, target_value: float) -> TRSNode:
+        """The child whose range contains ``target_value``.
+
+        Values outside the node's range are clamped to the first/last child so
+        that inserts of values beyond the originally observed domain still
+        land somewhere sensible (they become outliers of the edge leaf).
+        """
+        if not self.children:
+            raise ValueError("internal node has no children")
+        fanout = len(self.children)
+        width = self.key_range.width
+        if width <= 0:
+            return self.children[0]
+        offset = (target_value - self.key_range.low) / width
+        index = int(offset * fanout)
+        index = min(max(index, 0), fanout - 1)
+        return self.children[index]
+
+    def children_overlapping(self, target_range: KeyRange) -> list[TRSNode]:
+        """Children whose ranges overlap ``target_range``."""
+        return [child for child in self.children
+                if child.key_range.overlaps(target_range)]
+
+    def replace_child(self, old: TRSNode, new: TRSNode) -> None:
+        """Swap ``old`` for ``new`` in the child list (used by reorganization)."""
+        for position, child in enumerate(self.children):
+            if child is old:
+                self.children[position] = new
+                new.parent = self
+                return
+        raise ValueError("node to replace is not a child of this internal node")
+
+    def walk(self) -> Iterator[TRSNode]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (
+            f"TRSInternalNode(range=[{self.key_range.low:.3g}, "
+            f"{self.key_range.high:.3g}], children={len(self.children)})"
+        )
+
+
+def equal_width_subranges(key_range: KeyRange, fanout: int) -> list[KeyRange]:
+    """Split ``key_range`` into ``fanout`` equal-width sub-ranges.
+
+    The sub-ranges are treated as half-open internally (a value on a boundary
+    belongs to the right-hand child) except that the last child also includes
+    the range's upper bound, so the union always covers the parent exactly.
+    """
+    width = key_range.width / fanout
+    bounds = [key_range.low + i * width for i in range(fanout)] + [key_range.high]
+    return [KeyRange(bounds[i], bounds[i + 1]) for i in range(fanout)]

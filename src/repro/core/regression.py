@@ -1,0 +1,175 @@
+"""Linear-regression machinery used by TRS-Tree leaf nodes.
+
+Each leaf models the host column ``N`` as an approximate linear function of
+the target column ``M`` over the leaf's sub-range ``r``:
+
+    n = beta * m + alpha +/- epsilon
+
+``beta`` and ``alpha`` come from a one-pass ordinary-least-squares fit
+(Section 4.1); ``epsilon`` is derived from the user's ``error_bound`` so that a
+point probe on ``M`` is expected to cover ``error_bound`` host values when the
+host values are uniformly distributed (Section 4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.index.base import KeyRange
+
+
+@dataclass(frozen=True)
+class LinearModel:
+    """A fitted leaf model ``n = beta * m + alpha +/- epsilon``."""
+
+    beta: float
+    alpha: float
+    epsilon: float
+
+    def predict(self, m: float) -> float:
+        """Predicted host value for target value ``m``."""
+        return self.beta * m + self.alpha
+
+    def covers(self, m: float, n: float) -> bool:
+        """Whether ``(m, n)`` lies inside the confidence band."""
+        return abs(n - self.predict(m)) <= self.epsilon
+
+    def covers_many(self, m: np.ndarray, n: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`covers`."""
+        return np.abs(n - (self.beta * m + self.alpha)) <= self.epsilon
+
+    def host_range(self, target_range: KeyRange) -> KeyRange:
+        """Host-column range covering all predictions over ``target_range``.
+
+        Handles both slope signs: for a negative slope the predicted endpoints
+        swap, exactly as Algorithm 2 describes.
+        """
+        lo = self.predict(target_range.low)
+        hi = self.predict(target_range.high)
+        if lo > hi:
+            lo, hi = hi, lo
+        return KeyRange(lo - self.epsilon, hi + self.epsilon)
+
+
+def fit_linear(m: np.ndarray, n: np.ndarray) -> tuple[float, float]:
+    """One-pass OLS fit of ``n ~ beta * m + alpha``.
+
+    Uses the closed-form simple-linear-regression solution the paper quotes:
+    ``beta = cov(m, n) / var(m)`` and ``alpha = mean(n) - beta * mean(m)``.
+    Degenerate inputs (fewer than two points, or zero variance in ``m``) fall
+    back to a constant model ``beta = 0, alpha = mean(n)``.
+
+    Returns:
+        ``(beta, alpha)``.
+    """
+    if len(m) == 0:
+        return 0.0, 0.0
+    if len(m) == 1:
+        return 0.0, float(n[0])
+    m = np.asarray(m, dtype=np.float64)
+    n = np.asarray(n, dtype=np.float64)
+    m_mean = float(m.mean())
+    n_mean = float(n.mean())
+    m_centered = m - m_mean
+    variance = float(np.dot(m_centered, m_centered))
+    if variance == 0.0:
+        return 0.0, n_mean
+    covariance = float(np.dot(m_centered, n - n_mean))
+    beta = covariance / variance
+    alpha = n_mean - beta * m_mean
+    return beta, alpha
+
+
+def epsilon_for_error_bound(beta: float, target_range: KeyRange, num_tuples: int,
+                            error_bound: float) -> float:
+    """Derive the confidence interval epsilon from ``error_bound``.
+
+    Section 4.5: assuming uniformly distributed host values, a point query on
+    the target column returns a host range of width ``2 * epsilon`` which is
+    expected to cover ``2 * epsilon / (beta * (ub - lb)) * n`` host values.
+    Setting that expectation equal to ``error_bound`` gives
+
+        epsilon = beta * (ub - lb) * error_bound / (2 * n)
+
+    Args:
+        beta: Fitted slope (its absolute value is used).
+        target_range: The leaf's sub-range ``r`` on the target column.
+        num_tuples: Number of tuples covered by the leaf.
+        error_bound: The user-defined expected false-positive count.
+
+    Returns:
+        A non-negative epsilon.  A zero slope or an empty leaf yields zero,
+        which makes the model cover only exact matches — every other tuple
+        becomes an outlier, matching the paper's description of the
+        ``error_bound = 0`` extreme.
+    """
+    if num_tuples <= 0:
+        return 0.0
+    width = target_range.width
+    return abs(beta) * width * error_bound / (2.0 * num_tuples)
+
+
+def fit_linear_trimmed(m: np.ndarray, n: np.ndarray, trim_fraction: float,
+                       iterations: int = 2) -> tuple[float, float]:
+    """OLS fit that is robust to a small fraction of gross outliers.
+
+    The confidence band derived from ``error_bound`` is extremely tight, so a
+    plain OLS fit dragged by even 1% of large-magnitude noise would mark
+    *every* clean tuple as an outlier and force needless splits.  The paper's
+    evaluation (Figures 16-18, 27-30) shows the opposite behaviour — injected
+    noise (up to 10%) lands in the outlier buffers while the model stays
+    locked to the clean correlation — which requires the fit itself to ignore
+    the noise.  We achieve that with an iterated trimmed fit: fit, drop the
+    ``trim_fraction`` largest absolute residuals, refit, and repeat.  The
+    second round matters when the noise fraction is close to the trim
+    fraction: after the first refit the noise residuals are unambiguous and
+    the second trim removes their remaining influence.  (Documented as a
+    reproduction note in DESIGN.md / EXPERIMENTS.md.)
+
+    Args:
+        m: Target values.
+        n: Host values.
+        trim_fraction: Fraction of points (the largest residuals) excluded
+            at each refit; typically the TRS-Tree ``outlier_ratio``.
+        iterations: Number of trim-and-refit rounds.
+
+    Returns:
+        ``(beta, alpha)``.
+    """
+    beta, alpha = fit_linear(m, n)
+    if trim_fraction <= 0.0 or len(m) < 8:
+        return beta, alpha
+    m = np.asarray(m, dtype=np.float64)
+    n = np.asarray(n, dtype=np.float64)
+    for _ in range(max(1, iterations)):
+        residuals = np.abs(n - (beta * m + alpha))
+        cutoff = np.quantile(residuals, 1.0 - trim_fraction)
+        keep = residuals <= cutoff
+        if keep.sum() < 2:
+            break
+        beta, alpha = fit_linear(m[keep], n[keep])
+        if keep.all():
+            break
+    return beta, alpha
+
+
+def fit_leaf_model(m: np.ndarray, n: np.ndarray, target_range: KeyRange,
+                   error_bound: float,
+                   trim_fraction: float = 0.0) -> LinearModel:
+    """Fit the full leaf model (slope, intercept and epsilon) in one call.
+
+    Args:
+        m: Target values covered by the leaf.
+        n: Host values aligned with ``m``.
+        target_range: The leaf's sub-range on the target column.
+        error_bound: User-defined expected false-positive count per point probe.
+        trim_fraction: Robustness trim applied to the fit (0 disables).
+    """
+    if trim_fraction > 0.0:
+        beta, alpha = fit_linear_trimmed(m, n, trim_fraction)
+    else:
+        beta, alpha = fit_linear(m, n)
+    epsilon = epsilon_for_error_bound(beta, target_range, len(m), error_bound)
+    return LinearModel(beta=beta, alpha=alpha, epsilon=epsilon)

@@ -1,0 +1,99 @@
+"""Background reorganization of TRS-Trees (Section 4.4, Appendix B).
+
+The paper runs structure reorganization on a dedicated background thread: the
+insert/delete paths only *flag* candidate nodes, and the background thread
+periodically rebuilds them from the base table.  This module provides that
+thread.  The synchronisation protocol is deliberately coarse-grained, exactly
+as the paper describes: a single lock guards the install step, and concurrent
+readers never observe a partially rebuilt subtree because the rebuilt nodes
+are swapped in with a single parent-pointer update.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.hermit import HermitIndex
+
+
+@dataclass
+class ReorganizationStats:
+    """Counters describing background reorganization activity."""
+
+    passes: int = 0
+    candidates_processed: int = 0
+    last_pass_seconds: float = 0.0
+    history: list[tuple[float, int]] = field(default_factory=list)
+
+
+class BackgroundReorganizer:
+    """Periodically reorganizes a Hermit index on a background thread.
+
+    Args:
+        hermit: The Hermit index whose TRS-Tree should be maintained.
+        interval_seconds: Sleep between reorganization passes.
+        batch_size: Maximum number of candidate nodes rebuilt per pass
+            (mirrors the paper's batch structure reorganization).
+    """
+
+    def __init__(self, hermit: HermitIndex, interval_seconds: float = 5.0,
+                 batch_size: int | None = None) -> None:
+        self.hermit = hermit
+        self.interval_seconds = interval_seconds
+        self.batch_size = batch_size
+        self.stats = ReorganizationStats()
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+    def run_once(self) -> int:
+        """Run a single reorganization pass synchronously.
+
+        Returns:
+            Number of candidate nodes rebuilt.
+        """
+        started = time.perf_counter()
+        with self._lock:
+            processed = self.hermit.reorganize(self.batch_size)
+        elapsed = time.perf_counter() - started
+        self.stats.passes += 1
+        self.stats.candidates_processed += processed
+        self.stats.last_pass_seconds = elapsed
+        self.stats.history.append((elapsed, processed))
+        return processed
+
+    def start(self) -> None:
+        """Start the background thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop_event.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="trs-tree-reorganizer")
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the background thread and wait for it to exit."""
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the background thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def _loop(self) -> None:
+        while not self._stop_event.is_set():
+            if self.hermit.pending_reorganizations:
+                self.run_once()
+            self._stop_event.wait(self.interval_seconds)
+
+    def __enter__(self) -> "BackgroundReorganizer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

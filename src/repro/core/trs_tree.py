@@ -1,0 +1,442 @@
+"""The Tiered Regression Search Tree (TRS-Tree).
+
+The TRS-Tree is the paper's core data structure (Section 4): a k-ary tree over
+the *target* column's value domain whose leaves each hold a tiny linear
+regression model mapping target values to host values, plus an outlier buffer
+for the tuples the model cannot cover.  Construction (Algorithm 1) recursively
+partitions the domain until every leaf's model covers at least
+``1 - outlier_ratio`` of its tuples or ``max_height`` is reached; lookups
+(Algorithm 2) translate a target-column predicate into a small set of
+host-column ranges plus outlier tuple identifiers; maintenance (Algorithm 3)
+touches only the affected leaf's outlier buffer and defers structural changes
+to an on-demand reorganization pass.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.config import DEFAULT_CONFIG, TRSTreeConfig
+from repro.core.node import (
+    TRSInternalNode,
+    TRSLeafNode,
+    TRSNode,
+    equal_width_subranges,
+)
+from repro.core.regression import fit_leaf_model
+from repro.errors import StorageError
+from repro.index.base import KeyRange
+from repro.storage.identifiers import TupleId
+from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
+
+# A data provider hands back (target values, host values, tuple ids) for all
+# live tuples whose target value falls inside the requested range.  It is how
+# the reorganization pass re-reads the base table without the tree having to
+# know anything about tables.
+DataProvider = Callable[[KeyRange], tuple[np.ndarray, np.ndarray, np.ndarray]]
+
+
+@dataclass
+class TRSLookupResult:
+    """Output of a TRS-Tree lookup (Algorithm 2).
+
+    Attributes:
+        host_ranges: Disjoint ranges on the host column that together cover
+            every correlated match of the query predicate.
+        outlier_tids: Tuple identifiers recovered directly from outlier
+            buffers; they bypass the host index entirely.
+        leaves_visited: Number of leaf nodes inspected.
+        nodes_visited: Total number of nodes (internal + leaf) inspected.
+    """
+
+    host_ranges: list[KeyRange] = field(default_factory=list)
+    outlier_tids: list[TupleId] = field(default_factory=list)
+    leaves_visited: int = 0
+    nodes_visited: int = 0
+
+
+@dataclass
+class ReorganizationCandidate:
+    """A node flagged for structural reorganization."""
+
+    action: str  # "split" or "merge"
+    node: TRSNode
+
+
+class TRSTree:
+    """A TRS-Tree mapping a target column to a host column.
+
+    Args:
+        config: User-defined parameters (fanout, max height, outlier ratio,
+            error bound, sampling).
+        size_model: Analytic memory model shared with the rest of the engine.
+    """
+
+    def __init__(self, config: TRSTreeConfig = DEFAULT_CONFIG,
+                 size_model: SizeModel = DEFAULT_SIZE_MODEL) -> None:
+        self.config = config
+        self.size_model = size_model
+        self._root: TRSNode | None = None
+        self._reorg_queue: deque[ReorganizationCandidate] = deque()
+        self._pending_candidates: set[tuple[str, int]] = set()
+
+    # ------------------------------------------------------------ construction
+
+    def build(self, targets: Sequence[float], hosts: Sequence[float],
+              tids: Sequence[TupleId], value_range: KeyRange | None = None,
+              parallelism: int = 1) -> None:
+        """Construct the tree from column data (Algorithm 1).
+
+        Args:
+            targets: Target-column values (the column being "indexed").
+            hosts: Host-column values, aligned with ``targets``.
+            tids: Tuple identifiers, aligned with ``targets``.
+            value_range: Full range of the target column.  Taken from the data
+                when omitted (the engine normally passes optimizer statistics).
+            parallelism: Number of worker threads used to build the root's
+                child subtrees (Appendix D.2, multi-threaded construction).
+        """
+        targets = np.asarray(targets, dtype=np.float64)
+        hosts = np.asarray(hosts, dtype=np.float64)
+        tid_array = np.asarray(tids)
+        if not (len(targets) == len(hosts) == len(tid_array)):
+            raise StorageError("targets, hosts and tids must have equal length")
+        if value_range is None:
+            if len(targets) == 0:
+                value_range = KeyRange(0.0, 0.0)
+            else:
+                value_range = KeyRange(float(targets.min()), float(targets.max()))
+        self._reorg_queue.clear()
+        self._pending_candidates.clear()
+        self._root = self._build_node(
+            value_range, targets, hosts, tid_array, height=1,
+            parallelism=max(1, parallelism),
+        )
+
+    def _build_node(self, key_range: KeyRange, targets: np.ndarray,
+                    hosts: np.ndarray, tids: np.ndarray, height: int,
+                    parallelism: int = 1) -> TRSNode:
+        """Build the subtree for ``key_range`` over the given tuples."""
+        can_split = (
+            height < self.config.max_height
+            and len(targets) >= self.config.min_split_size
+            and key_range.width > 0
+        )
+
+        if can_split and self._sampling_says_split(key_range, targets, hosts):
+            return self._split(key_range, targets, hosts, tids, height, parallelism)
+
+        model = fit_leaf_model(
+            targets, hosts, key_range, self.config.error_bound,
+            trim_fraction=self.config.outlier_ratio,
+        )
+        covered = model.covers_many(targets, hosts) if len(targets) else np.zeros(0, bool)
+        num_outliers = int(len(targets) - covered.sum())
+
+        if can_split and num_outliers > self.config.outlier_ratio * len(targets):
+            return self._split(key_range, targets, hosts, tids, height, parallelism)
+
+        leaf = TRSLeafNode(key_range, height, model, self.size_model)
+        leaf.num_covered = int(len(targets))
+        if num_outliers:
+            for value, tid in zip(targets[~covered], tids[~covered]):
+                leaf.add_outlier(float(value), self._native(tid))
+        return leaf
+
+    def _split(self, key_range: KeyRange, targets: np.ndarray, hosts: np.ndarray,
+               tids: np.ndarray, height: int, parallelism: int) -> TRSInternalNode:
+        """Split a range into ``node_fanout`` children and build each."""
+        node = TRSInternalNode(key_range, height)
+        subranges = equal_width_subranges(key_range, self.config.node_fanout)
+
+        def build_child(position: int) -> TRSNode:
+            sub = subranges[position]
+            if position == len(subranges) - 1:
+                mask = (targets >= sub.low) & (targets <= sub.high)
+            else:
+                mask = (targets >= sub.low) & (targets < sub.high)
+            return self._build_node(
+                sub, targets[mask], hosts[mask], tids[mask], height + 1
+            )
+
+        if parallelism > 1 and len(targets) > 4 * self.config.min_split_size:
+            with ThreadPoolExecutor(max_workers=parallelism) as pool:
+                children = list(pool.map(build_child, range(len(subranges))))
+        else:
+            children = [build_child(position) for position in range(len(subranges))]
+
+        for child in children:
+            child.parent = node
+        node.children = children
+        return node
+
+    def _sampling_says_split(self, key_range: KeyRange, targets: np.ndarray,
+                             hosts: np.ndarray) -> bool:
+        """Sampling-based outlier pre-estimation (Appendix D.2).
+
+        Fits the model on a small sample first; if even the sample exceeds the
+        outlier ratio, the full fit is skipped and the node is split directly.
+        """
+        fraction = self.config.sample_fraction
+        if fraction is None or len(targets) < 4 * self.config.min_split_size:
+            return False
+        sample_size = max(self.config.min_split_size, int(len(targets) * fraction))
+        rng = np.random.default_rng(len(targets))
+        positions = rng.choice(len(targets), size=sample_size, replace=False)
+        sample_model = fit_leaf_model(
+            targets[positions], hosts[positions], key_range, self.config.error_bound,
+            trim_fraction=self.config.outlier_ratio,
+        )
+        covered = sample_model.covers_many(targets[positions], hosts[positions])
+        outliers = sample_size - int(covered.sum())
+        return outliers > self.config.outlier_ratio * sample_size
+
+    # ----------------------------------------------------------------- lookup
+
+    def lookup(self, predicate: KeyRange) -> TRSLookupResult:
+        """Translate a target-column predicate into host ranges + outliers.
+
+        Nodes on the left/right edge of the tree are treated as open-ended:
+        values inserted after construction that fall outside the originally
+        observed target domain are routed (clamped) into the edge leaves'
+        outlier buffers, so lookups whose predicate extends beyond the built
+        domain must still visit those leaves.
+        """
+        result = TRSLookupResult()
+        if self._root is None:
+            return result
+        # Queue entries carry (node, is_left_edge, is_right_edge).
+        queue: deque[tuple[TRSNode, bool, bool]] = deque([(self._root, True, True)])
+        while queue:
+            node, left_edge, right_edge = queue.popleft()
+            result.nodes_visited += 1
+            effective = KeyRange(
+                float("-inf") if left_edge else node.key_range.low,
+                float("inf") if right_edge else node.key_range.high,
+            )
+            if node.is_leaf:
+                leaf: TRSLeafNode = node  # type: ignore[assignment]
+                overlap = effective.intersect(predicate)
+                if overlap is None:
+                    continue
+                result.leaves_visited += 1
+                # ``overlap`` is clipped to the predicate (finite) but may
+                # extend beyond the leaf's built range on the tree's edges;
+                # extrapolating the linear band there mirrors the insert
+                # path, which uses the same band to decide whether an
+                # out-of-domain tuple needs an outlier entry.
+                result.host_ranges.append(leaf.get_host_range(overlap))
+                result.outlier_tids.extend(leaf.outliers.lookup(overlap))
+            else:
+                internal: TRSInternalNode = node  # type: ignore[assignment]
+                last = len(internal.children) - 1
+                for position, child in enumerate(internal.children):
+                    child_left = left_edge and position == 0
+                    child_right = right_edge and position == last
+                    child_range = KeyRange(
+                        float("-inf") if child_left else child.key_range.low,
+                        float("inf") if child_right else child.key_range.high,
+                    )
+                    if child_range.overlaps(predicate):
+                        queue.append((child, child_left, child_right))
+        result.host_ranges = KeyRange.union(result.host_ranges)
+        return result
+
+    def lookup_point(self, target_value: float) -> TRSLookupResult:
+        """Point-query variant of :meth:`lookup`."""
+        return self.lookup(KeyRange(target_value, target_value))
+
+    # ------------------------------------------------------------ maintenance
+
+    def insert(self, target_value: float, host_value: float, tid: TupleId) -> None:
+        """Insert a tuple (Algorithm 3).
+
+        Only the affected leaf's outlier buffer may change; if the leaf's
+        model already covers the new pair nothing is stored at all.
+        """
+        leaf = self._traverse(target_value)
+        if leaf is None:
+            return
+        if not leaf.covers(target_value, host_value):
+            leaf.add_outlier(target_value, tid)
+        leaf.num_inserted += 1
+        self._maybe_flag_split(leaf)
+
+    def delete(self, target_value: float, host_value: float, tid: TupleId) -> None:
+        """Delete a tuple (Algorithm 3).
+
+        Removes the outlier entry if one exists; covered tuples leave no trace
+        in the tree, so there is nothing else to undo.
+        """
+        leaf = self._traverse(target_value)
+        if leaf is None:
+            return
+        leaf.outliers.remove(target_value, tid)
+        leaf.num_deleted += 1
+        self._maybe_flag_merge(leaf)
+
+    def update(self, old_target: float, old_host: float, new_target: float,
+               new_host: float, tid: TupleId) -> None:
+        """Update a tuple's target and/or host value."""
+        self.delete(old_target, old_host, tid)
+        self.insert(new_target, new_host, tid)
+
+    def _traverse(self, target_value: float) -> TRSLeafNode | None:
+        node = self._root
+        if node is None:
+            return None
+        while not node.is_leaf:
+            node = node.child_for(target_value)  # type: ignore[union-attr]
+        return node  # type: ignore[return-value]
+
+    def _maybe_flag_split(self, leaf: TRSLeafNode) -> None:
+        if leaf.height >= self.config.max_height:
+            return
+        if leaf.population < self.config.min_split_size:
+            return
+        if leaf.outlier_ratio() > self.config.outlier_ratio:
+            self._enqueue_candidate("split", leaf)
+
+    def _maybe_flag_merge(self, leaf: TRSLeafNode) -> None:
+        if leaf.parent is None:
+            return
+        if leaf.deleted_ratio() > self.config.outlier_ratio:
+            self._enqueue_candidate("merge", leaf.parent)
+
+    def _enqueue_candidate(self, action: str, node: TRSNode) -> None:
+        key = (action, id(node))
+        if key in self._pending_candidates:
+            return
+        self._pending_candidates.add(key)
+        self._reorg_queue.append(ReorganizationCandidate(action, node))
+
+    # --------------------------------------------------------- reorganization
+
+    @property
+    def pending_reorganizations(self) -> int:
+        """Number of nodes currently flagged for reorganization."""
+        return len(self._reorg_queue)
+
+    def reorganize(self, provider: DataProvider,
+                   max_candidates: int | None = None) -> int:
+        """Process flagged reorganization candidates (Section 4.4).
+
+        Args:
+            provider: Callback returning ``(targets, hosts, tids)`` for every
+                live tuple whose target value falls in a given range; used to
+                re-read the base table for the affected sub-ranges.
+            max_candidates: Process at most this many candidates (all if None).
+
+        Returns:
+            The number of candidates actually rebuilt.
+        """
+        processed = 0
+        while self._reorg_queue:
+            if max_candidates is not None and processed >= max_candidates:
+                break
+            candidate = self._reorg_queue.popleft()
+            self._pending_candidates.discard((candidate.action, id(candidate.node)))
+            if not self._is_attached(candidate.node):
+                continue
+            self._rebuild_node(candidate.node, provider)
+            processed += 1
+        return processed
+
+    def rebuild_subtree(self, node: TRSNode, provider: DataProvider) -> None:
+        """Rebuild the subtree rooted at ``node`` from base-table data."""
+        self._rebuild_node(node, provider)
+
+    def reorganize_children(self, provider: DataProvider,
+                            child_indices: Iterable[int]) -> None:
+        """Rebuild selected first-level subtrees (used by the Figure 23 trace)."""
+        if self._root is None or self._root.is_leaf:
+            if self._root is not None:
+                self._rebuild_node(self._root, provider)
+            return
+        root: TRSInternalNode = self._root  # type: ignore[assignment]
+        for index in child_indices:
+            if 0 <= index < len(root.children):
+                self._rebuild_node(root.children[index], provider)
+
+    def _rebuild_node(self, node: TRSNode, provider: DataProvider) -> None:
+        targets, hosts, tids = provider(node.key_range)
+        rebuilt = self._build_node(
+            node.key_range,
+            np.asarray(targets, dtype=np.float64),
+            np.asarray(hosts, dtype=np.float64),
+            np.asarray(tids),
+            height=node.height,
+        )
+        parent = node.parent
+        if parent is None:
+            self._root = rebuilt
+            rebuilt.parent = None
+        else:
+            parent.replace_child(node, rebuilt)
+
+    def _is_attached(self, node: TRSNode) -> bool:
+        current = node
+        while current.parent is not None:
+            if current not in current.parent.children:
+                return False
+            current = current.parent
+        return current is self._root
+
+    # ------------------------------------------------------------- statistics
+
+    @property
+    def root(self) -> TRSNode | None:
+        """The root node (None before :meth:`build`)."""
+        return self._root
+
+    def nodes(self) -> Iterable[TRSNode]:
+        """Iterate every node in the tree."""
+        if self._root is None:
+            return []
+        return self._root.walk()
+
+    def leaves(self) -> list[TRSLeafNode]:
+        """All leaf nodes."""
+        return [node for node in self.nodes() if node.is_leaf]  # type: ignore[misc]
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaf nodes."""
+        return sum(1 for node in self.nodes() if node.is_leaf)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes."""
+        return sum(1 for _ in self.nodes())
+
+    @property
+    def height(self) -> int:
+        """Height of the deepest leaf (root = 1); 0 for an empty tree."""
+        heights = [node.height for node in self.nodes() if node.is_leaf]
+        return max(heights) if heights else 0
+
+    @property
+    def num_outliers(self) -> int:
+        """Total number of outlier entries across all leaves."""
+        return sum(len(leaf.outliers) for leaf in self.leaves())
+
+    def memory_bytes(self) -> int:
+        """Analytic size of the whole tree in bytes."""
+        total = 0
+        for node in self.nodes():
+            if node.is_leaf:
+                leaf: TRSLeafNode = node  # type: ignore[assignment]
+                total += self.size_model.trs_leaf_bytes(len(leaf.outliers))
+            else:
+                total += self.size_model.trs_internal_bytes(self.config.node_fanout)
+        return total
+
+    @staticmethod
+    def _native(tid):
+        """Convert numpy scalars to native Python ints/floats for storage."""
+        return tid.item() if hasattr(tid, "item") else tid

@@ -1,0 +1,32 @@
+"""Correlation functions, discovery and the host-column advisor."""
+
+from repro.correlation.advisor import HostColumnAdvisor, IndexRecommendation
+from repro.correlation.discovery import (
+    CorrelationCandidate,
+    CorrelationDiscoverer,
+    pearson_coefficient,
+    spearman_coefficient,
+)
+from repro.correlation.functions import (
+    CorrelationFunction,
+    LinearFunction,
+    PolynomialFunction,
+    SigmoidFunction,
+    SineFunction,
+    inject_noise,
+)
+
+__all__ = [
+    "CorrelationCandidate",
+    "CorrelationDiscoverer",
+    "CorrelationFunction",
+    "HostColumnAdvisor",
+    "IndexRecommendation",
+    "LinearFunction",
+    "PolynomialFunction",
+    "SigmoidFunction",
+    "SineFunction",
+    "inject_noise",
+    "pearson_coefficient",
+    "spearman_coefficient",
+]

@@ -1,0 +1,98 @@
+"""Host-column advisor.
+
+When a user asks for an index on a target column, the engine consults the
+advisor to decide whether a correlated *host* column with an existing complete
+index makes a Hermit index viable, or whether a conventional B+-tree should be
+built instead.  This mirrors the decision flow of the running example in
+Section 3: "the RDBMS first checks whether any column correlation involving
+TIME or SP has been detected".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.correlation.discovery import CorrelationCandidate, CorrelationDiscoverer
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class IndexRecommendation:
+    """The advisor's answer for one requested index.
+
+    Attributes:
+        target_column: Column the user wants indexed.
+        use_hermit: Whether a Hermit index is recommended.
+        host_column: The chosen host column (None for a conventional index).
+        candidate: The measured correlation backing the recommendation.
+        reason: Human-readable justification.
+    """
+
+    target_column: str
+    use_hermit: bool
+    host_column: str | None
+    candidate: CorrelationCandidate | None
+    reason: str
+
+
+class HostColumnAdvisor:
+    """Chooses a host column for a prospective Hermit index.
+
+    Args:
+        discoverer: The correlation-discovery engine used to measure pairs.
+        minimum_strength: Minimum correlation strength for recommending Hermit.
+        require_monotonic: Reject non-monotonic correlations (sine-like), which
+            Hermit cannot exploit efficiently (Appendix D.1).
+    """
+
+    def __init__(self, discoverer: CorrelationDiscoverer | None = None,
+                 minimum_strength: float = 0.9,
+                 require_monotonic: bool = True) -> None:
+        self.discoverer = discoverer or CorrelationDiscoverer()
+        self.minimum_strength = minimum_strength
+        self.require_monotonic = require_monotonic
+
+    def recommend(self, table: Table, target_column: str,
+                  indexed_columns: list[str]) -> IndexRecommendation:
+        """Recommend how to index ``target_column``.
+
+        Args:
+            table: The table the index is requested on.
+            target_column: The column to index.
+            indexed_columns: Columns that already carry a complete index — the
+                only viable host candidates.
+
+        Returns:
+            An :class:`IndexRecommendation`; ``use_hermit`` is False when no
+            indexed column is sufficiently (and usably) correlated.
+        """
+        best: CorrelationCandidate | None = None
+        for host in indexed_columns:
+            if host == target_column:
+                continue
+            candidate = self.discoverer.measure(table, target_column, host)
+            if best is None or candidate.strength > best.strength:
+                best = candidate
+
+        if best is None:
+            return IndexRecommendation(
+                target_column, False, None, None,
+                "no indexed columns are available as hosts",
+            )
+        if best.strength < self.minimum_strength:
+            return IndexRecommendation(
+                target_column, False, None, best,
+                f"strongest correlation {best.strength:.3f} with "
+                f"{best.host_column!r} is below the {self.minimum_strength} threshold",
+            )
+        if self.require_monotonic and not best.is_monotonic:
+            return IndexRecommendation(
+                target_column, False, None, best,
+                f"correlation with {best.host_column!r} is not monotonic; "
+                "a TRS-Tree would produce too many false positives",
+            )
+        return IndexRecommendation(
+            target_column, True, best.host_column, best,
+            f"column {best.host_column!r} is correlated "
+            f"(pearson={best.pearson:.3f}, spearman={best.spearman:.3f})",
+        )

@@ -1,0 +1,158 @@
+"""Correlation discovery.
+
+Hermit itself "fully relies on the underlying RDBMS or users to perform
+correlation discovery" (Appendix D.1).  This module provides the discovery
+machinery such an RDBMS would run: Pearson and Spearman coefficients computed
+on samples (the CORDS approach of sampling to keep discovery cheap), and a
+scanner that evaluates every candidate column pair of a table against a
+threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CorrelationError
+from repro.storage.table import Table
+
+
+def pearson_coefficient(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson product-moment correlation coefficient of two columns.
+
+    Returns 0.0 when either column is constant (no linear association can be
+    measured), which is the convention the advisor relies on.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if len(x) != len(y):
+        raise CorrelationError("columns must have equal length")
+    if len(x) < 2:
+        raise CorrelationError("need at least two values to measure correlation")
+    x_std = float(np.std(x))
+    y_std = float(np.std(y))
+    if x_std == 0.0 or y_std == 0.0:
+        return 0.0
+    covariance = float(np.mean((x - np.mean(x)) * (y - np.mean(y))))
+    return covariance / (x_std * y_std)
+
+
+def spearman_coefficient(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation coefficient.
+
+    Detects monotonic (not necessarily linear) association — the statistic the
+    paper's DBA uses to recognise the Sigmoid-style correlations Hermit can
+    still exploit.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if len(x) != len(y):
+        raise CorrelationError("columns must have equal length")
+    if len(x) < 2:
+        raise CorrelationError("need at least two values to measure correlation")
+    return pearson_coefficient(_rank(x), _rank(y))
+
+
+def _rank(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties receive the mean of their rank positions)."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(len(values), dtype=np.float64)
+    ranks[order] = np.arange(1, len(values) + 1, dtype=np.float64)
+    # Average the ranks of tied values.
+    unique_values, inverse, counts = np.unique(
+        values, return_inverse=True, return_counts=True
+    )
+    sums = np.zeros(len(unique_values))
+    np.add.at(sums, inverse, ranks)
+    return sums[inverse] / counts[inverse]
+
+
+@dataclass(frozen=True)
+class CorrelationCandidate:
+    """One discovered (target, host) correlation.
+
+    Attributes:
+        target_column: Column a future query might filter on.
+        host_column: Correlated column that already has (or will get) an index.
+        pearson: Pearson coefficient measured on the sample.
+        spearman: Spearman coefficient measured on the sample.
+    """
+
+    target_column: str
+    host_column: str
+    pearson: float
+    spearman: float
+
+    @property
+    def strength(self) -> float:
+        """The stronger of the two coefficients, in absolute value."""
+        return max(abs(self.pearson), abs(self.spearman))
+
+    @property
+    def is_monotonic(self) -> bool:
+        """Heuristic monotonicity check (|Spearman| close to 1)."""
+        return abs(self.spearman) >= 0.95
+
+
+class CorrelationDiscoverer:
+    """Sampling-based correlation discovery over a table's numeric columns.
+
+    Args:
+        sample_size: Maximum number of rows sampled per column pair.
+        threshold: Minimum coefficient (Pearson or Spearman, absolute value)
+            for a pair to be reported.
+        seed: Seed of the sampling RNG, for reproducibility.
+    """
+
+    def __init__(self, sample_size: int = 2000, threshold: float = 0.9,
+                 seed: int = 7) -> None:
+        self.sample_size = sample_size
+        self.threshold = threshold
+        self._rng = np.random.default_rng(seed)
+
+    def measure(self, table: Table, target_column: str,
+                host_column: str) -> CorrelationCandidate:
+        """Measure the correlation between two named columns of ``table``."""
+        slots = table.live_slots()
+        if len(slots) == 0:
+            raise CorrelationError("cannot measure correlations on an empty table")
+        if len(slots) > self.sample_size:
+            slots = self._rng.choice(slots, size=self.sample_size, replace=False)
+        targets = table.values(slots, target_column).astype(np.float64)
+        hosts = table.values(slots, host_column).astype(np.float64)
+        return CorrelationCandidate(
+            target_column=target_column,
+            host_column=host_column,
+            pearson=pearson_coefficient(targets, hosts),
+            spearman=spearman_coefficient(targets, hosts),
+        )
+
+    def discover(self, table: Table,
+                 candidate_columns: list[str] | None = None) -> list[CorrelationCandidate]:
+        """Scan all ordered column pairs and keep those above the threshold.
+
+        Args:
+            table: The table to analyse.
+            candidate_columns: Restrict discovery to these columns (all
+                numeric columns when omitted).
+
+        Returns:
+            Candidates sorted by descending strength.
+        """
+        from repro.storage.schema import DataType
+
+        names = candidate_columns or [
+            column.name for column in table.schema
+            if column.dtype is not DataType.STRING
+        ]
+        results: list[CorrelationCandidate] = []
+        for target in names:
+            for host in names:
+                if target == host:
+                    continue
+                candidate = self.measure(table, target, host)
+                if candidate.strength >= self.threshold:
+                    results.append(candidate)
+        results.sort(key=lambda c: c.strength, reverse=True)
+        return results

@@ -1,0 +1,132 @@
+"""Correlation functions used to generate and to reason about correlated columns.
+
+The paper's synthetic workload derives the host column from the target column
+through a *correlation function* (``colB = Fn(colC)``), studies Linear and
+Sigmoid functions in depth, and uses the Sine function (Appendix D.1,
+Figure 25) as the example of a non-monotonic correlation Hermit cannot model
+well.  These function objects are shared by the workload generators, the
+correlation-discovery tests and the false-positive experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class CorrelationFunction(abc.ABC):
+    """A deterministic mapping from target-column values to host-column values."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        """Map target values to host values."""
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        return self.apply(np.asarray(values, dtype=np.float64))
+
+    @property
+    def is_monotonic(self) -> bool:
+        """Whether the function is monotonic over its intended domain."""
+        return True
+
+
+@dataclass
+class LinearFunction(CorrelationFunction):
+    """``host = slope * target + intercept`` — the paper's Linear workload."""
+
+    slope: float = 2.0
+    intercept: float = 10.0
+    name: str = "linear"
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        return self.slope * values + self.intercept
+
+
+@dataclass
+class SigmoidFunction(CorrelationFunction):
+    """A scaled logistic curve — the paper's Sigmoid (monotonic, non-linear) workload.
+
+    ``host = scale / (1 + exp(-steepness * (target - midpoint)))``.
+    """
+
+    midpoint: float = 0.0
+    steepness: float = 1.0
+    scale: float = 1.0
+    name: str = "sigmoid"
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        return self.scale / (1.0 + np.exp(-self.steepness * (values - self.midpoint)))
+
+
+@dataclass
+class SineFunction(CorrelationFunction):
+    """``host = amplitude * sin(frequency * target)`` — non-monotonic (Figure 25c)."""
+
+    amplitude: float = 1.0
+    frequency: float = 1.0
+    name: str = "sine"
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        return self.amplitude * np.sin(self.frequency * values)
+
+    @property
+    def is_monotonic(self) -> bool:
+        return False
+
+
+@dataclass
+class PolynomialFunction(CorrelationFunction):
+    """``host = sum_i coefficients[i] * target ** i``."""
+
+    coefficients: tuple[float, ...] = (0.0, 1.0)
+    name: str = "polynomial"
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        result = np.zeros_like(values, dtype=np.float64)
+        for power, coefficient in enumerate(self.coefficients):
+            result += coefficient * values ** power
+        return result
+
+    @property
+    def is_monotonic(self) -> bool:
+        # Only guaranteed for degree <= 1; higher degrees are treated as
+        # potentially non-monotonic.
+        return len(self.coefficients) <= 2
+
+
+def inject_noise(hosts: np.ndarray, noise_fraction: float, noise_scale: float,
+                 rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Replace a fraction of host values with uniformly distributed noise.
+
+    The paper injects "uniformly distributed noisy data" into the derived
+    column; the noisy tuples are exactly the ones TRS-Tree should park in its
+    outlier buffers.
+
+    Args:
+        hosts: Clean host values.
+        noise_fraction: Fraction of tuples to perturb (0 disables).
+        noise_scale: Magnitude of the uniform noise band added to the value.
+        rng: Source of randomness.
+
+    Returns:
+        ``(noisy_hosts, noise_mask)`` where ``noise_mask[i]`` is True for the
+        perturbed tuples.
+    """
+    hosts = np.asarray(hosts, dtype=np.float64).copy()
+    count = len(hosts)
+    mask = np.zeros(count, dtype=bool)
+    if noise_fraction <= 0 or count == 0:
+        return hosts, mask
+    num_noisy = int(round(count * noise_fraction))
+    if num_noisy == 0:
+        return hosts, mask
+    positions = rng.choice(count, size=num_noisy, replace=False)
+    offsets = rng.uniform(noise_scale * 0.5, noise_scale, size=num_noisy)
+    signs = rng.choice((-1.0, 1.0), size=num_noisy)
+    hosts[positions] = hosts[positions] + signs * offsets
+    mask[positions] = True
+    return hosts, mask

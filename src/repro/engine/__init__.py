@@ -1,0 +1,20 @@
+"""The in-memory RDBMS substrate: catalog, query model, executor, facade."""
+
+from repro.engine.catalog import Catalog, IndexEntry, IndexMethod, TableEntry
+from repro.engine.database import Database
+from repro.engine.executor import choose_index, execute_with_index, full_scan
+from repro.engine.query import QueryResult, RangePredicate, point_predicate
+
+__all__ = [
+    "Catalog",
+    "Database",
+    "IndexEntry",
+    "IndexMethod",
+    "QueryResult",
+    "RangePredicate",
+    "TableEntry",
+    "choose_index",
+    "execute_with_index",
+    "full_scan",
+    "point_predicate",
+]

@@ -1,0 +1,146 @@
+"""System catalog: tables, indexes and discovered correlations.
+
+The catalog is deliberately thin — it owns no behaviour beyond bookkeeping —
+but it is what lets the database facade answer questions such as "which
+columns of this table already carry a complete index?" (the host candidates
+for a new Hermit index) and "how much memory do the existing vs. newly created
+indexes consume?" (the space-breakdown figures).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.correlation.discovery import CorrelationCandidate
+from repro.errors import CatalogError
+from repro.storage.table import Table
+
+
+class IndexMethod(enum.Enum):
+    """How a secondary index is physically realised."""
+
+    BTREE = "btree"
+    HERMIT = "hermit"
+    CORRELATION_MAP = "correlation_map"
+    AUTO = "auto"
+
+
+@dataclass
+class IndexEntry:
+    """Catalog record of one secondary index.
+
+    Attributes:
+        name: Unique index name.
+        table_name: Table the index belongs to.
+        column: Indexed (target) column.
+        method: Physical mechanism backing the index.
+        mechanism: The mechanism object (BaselineSecondaryIndex, HermitIndex
+            or CorrelationMap); duck-typed by the executor.
+        host_column: Host column for correlation-based mechanisms.
+        is_preexisting: Whether the index existed before the experiment's
+            "new" indexes were added; drives the space-breakdown labels.
+    """
+
+    name: str
+    table_name: str
+    column: str
+    method: IndexMethod
+    mechanism: object
+    host_column: str | None = None
+    is_preexisting: bool = False
+
+
+@dataclass
+class TableEntry:
+    """Catalog record of one table and its primary index."""
+
+    name: str
+    table: Table
+    primary_index: object
+    indexes: dict[str, IndexEntry] = field(default_factory=dict)
+    correlations: list[CorrelationCandidate] = field(default_factory=list)
+
+
+class Catalog:
+    """Registry of tables and their indexes."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableEntry] = {}
+
+    def add_table(self, name: str, table: Table, primary_index: object) -> TableEntry:
+        """Register a table.
+
+        Raises:
+            CatalogError: If a table with the same name already exists.
+        """
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        entry = TableEntry(name=name, table=table, primary_index=primary_index)
+        self._tables[name] = entry
+        return entry
+
+    def table_entry(self, name: str) -> TableEntry:
+        """Look up a table entry by name.
+
+        Raises:
+            CatalogError: If the table does not exist.
+        """
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def add_index(self, entry: IndexEntry) -> None:
+        """Register a secondary index.
+
+        Raises:
+            CatalogError: If the index name is taken on that table.
+        """
+        table_entry = self.table_entry(entry.table_name)
+        if entry.name in table_entry.indexes:
+            raise CatalogError(
+                f"index {entry.name!r} already exists on table {entry.table_name!r}"
+            )
+        table_entry.indexes[entry.name] = entry
+
+    def drop_index(self, table_name: str, index_name: str) -> IndexEntry:
+        """Remove and return a secondary index entry."""
+        table_entry = self.table_entry(table_name)
+        try:
+            return table_entry.indexes.pop(index_name)
+        except KeyError:
+            raise CatalogError(
+                f"index {index_name!r} does not exist on table {table_name!r}"
+            ) from None
+
+    def indexes_on(self, table_name: str) -> list[IndexEntry]:
+        """All secondary indexes of a table."""
+        return list(self.table_entry(table_name).indexes.values())
+
+    def indexes_on_column(self, table_name: str, column: str) -> list[IndexEntry]:
+        """Secondary indexes whose target column is ``column``."""
+        return [entry for entry in self.indexes_on(table_name)
+                if entry.column == column]
+
+    def indexed_columns(self, table_name: str,
+                        methods: tuple[IndexMethod, ...] = (IndexMethod.BTREE,)) -> list[str]:
+        """Columns of a table carrying a complete index of one of ``methods``.
+
+        These are the viable host candidates for a Hermit index.
+        """
+        return [entry.column for entry in self.indexes_on(table_name)
+                if entry.method in methods]
+
+    def record_correlation(self, table_name: str,
+                           candidate: CorrelationCandidate) -> None:
+        """Remember a discovered correlation for a table."""
+        self.table_entry(table_name).correlations.append(candidate)
+
+    def tables(self) -> Iterator[TableEntry]:
+        """Iterate all table entries."""
+        return iter(self._tables.values())
+
+    def __contains__(self, table_name: str) -> bool:
+        return table_name in self._tables

@@ -1,0 +1,281 @@
+"""The database facade.
+
+``Database`` glues the substrates together the way the paper's host RDBMS
+does: tables with primary indexes, conventional B+-tree secondary indexes,
+and — when a usable correlation exists — Hermit indexes that piggyback on a
+host index instead of storing every key.  It is the public API the examples
+and benchmarks are written against.
+
+Typical usage::
+
+    db = Database(pointer_scheme=PointerScheme.PHYSICAL)
+    table = db.create_table(schema)
+    db.insert_many("stock_history", columns)
+    db.create_index("idx_dj", "stock_history", "dj")            # complete B+-tree
+    db.create_index("idx_sp", "stock_history", "sp",
+                    method=IndexMethod.AUTO)                     # becomes a Hermit index
+    result = db.query("stock_history", RangePredicate("sp", 900, 950))
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.correlation_maps import CorrelationMap
+from repro.baselines.secondary import BaselineSecondaryIndex
+from repro.core.config import DEFAULT_CONFIG, TRSTreeConfig
+from repro.core.hermit import HermitIndex
+from repro.correlation.advisor import HostColumnAdvisor
+from repro.engine.catalog import Catalog, IndexEntry, IndexMethod, TableEntry
+from repro.engine.executor import choose_index, execute_with_index, full_scan
+from repro.engine.query import QueryResult, RangePredicate
+from repro.errors import CatalogError, QueryError
+from repro.index.bptree import BPlusTree
+from repro.storage.identifiers import PointerScheme
+from repro.storage.memory import DEFAULT_SIZE_MODEL, MemoryReport, SizeModel
+from repro.storage.schema import TableSchema
+from repro.storage.table import Table
+
+
+class Database:
+    """An in-memory RDBMS substrate hosting Hermit and its baselines.
+
+    Args:
+        pointer_scheme: Tuple-identifier scheme used by all secondary indexes.
+        trs_config: Default TRS-Tree parameters for Hermit indexes.
+        size_model: Analytic memory model shared by every structure.
+        advisor: Host-column advisor consulted by ``IndexMethod.AUTO``.
+    """
+
+    def __init__(self, pointer_scheme: PointerScheme = PointerScheme.PHYSICAL,
+                 trs_config: TRSTreeConfig = DEFAULT_CONFIG,
+                 size_model: SizeModel = DEFAULT_SIZE_MODEL,
+                 advisor: HostColumnAdvisor | None = None) -> None:
+        self.pointer_scheme = pointer_scheme
+        self.trs_config = trs_config
+        self.size_model = size_model
+        self.advisor = advisor or HostColumnAdvisor()
+        self.catalog = Catalog()
+
+    # ------------------------------------------------------------------ DDL
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create a table along with its primary index."""
+        table = Table(schema, size_model=self.size_model)
+        primary_index = BPlusTree(size_model=self.size_model)
+        self.catalog.add_table(schema.name, table, primary_index)
+        return table
+
+    def create_index(self, name: str, table_name: str, column: str,
+                     method: IndexMethod = IndexMethod.BTREE,
+                     host_column: str | None = None,
+                     trs_config: TRSTreeConfig | None = None,
+                     cm_target_bucket_width: float | None = None,
+                     cm_host_bucket_width: float | None = None,
+                     preexisting: bool = False,
+                     parallelism: int = 1) -> IndexEntry:
+        """Create a secondary index on ``column``.
+
+        Args:
+            name: Index name (unique per table).
+            table_name: Table to index.
+            column: Target column.
+            method: Physical mechanism; ``AUTO`` asks the correlation advisor
+                whether a Hermit index is viable and falls back to a B+-tree.
+            host_column: Host column for HERMIT/CORRELATION_MAP; discovered
+                automatically when omitted.
+            trs_config: Per-index TRS-Tree parameter override.
+            cm_target_bucket_width: Target bucket width for CORRELATION_MAP.
+            cm_host_bucket_width: Host bucket width for CORRELATION_MAP.
+            preexisting: Mark the index as pre-existing for the space
+                breakdown accounting ("Existing Indexes" vs "New Indexes").
+            parallelism: Construction threads for the TRS-Tree.
+
+        Returns:
+            The catalog entry of the new index.
+        """
+        entry = self.catalog.table_entry(table_name)
+        table = entry.table
+        table.schema.position_of(column)
+
+        if method is IndexMethod.AUTO:
+            method, host_column = self._advise(entry, column, host_column)
+
+        if method is IndexMethod.BTREE:
+            mechanism: object = BaselineSecondaryIndex(
+                table, column, primary_index=entry.primary_index,
+                pointer_scheme=self.pointer_scheme, size_model=self.size_model,
+            )
+            mechanism.build()
+        elif method is IndexMethod.HERMIT:
+            host_column = host_column or self._advise(entry, column, None)[1]
+            host_index = self._host_index_for(entry, column, host_column)
+            mechanism = HermitIndex(
+                table, column, host_column, host_index,
+                primary_index=entry.primary_index,
+                pointer_scheme=self.pointer_scheme,
+                config=trs_config or self.trs_config,
+                size_model=self.size_model,
+            )
+            mechanism.build(parallelism=parallelism)
+        elif method is IndexMethod.CORRELATION_MAP:
+            if host_column is None:
+                raise QueryError("CORRELATION_MAP requires an explicit host column")
+            if cm_target_bucket_width is None or cm_host_bucket_width is None:
+                raise QueryError("CORRELATION_MAP requires both bucket widths")
+            host_index = self._host_index_for(entry, column, host_column)
+            mechanism = CorrelationMap(
+                table, column, host_column, host_index,
+                target_bucket_width=cm_target_bucket_width,
+                host_bucket_width=cm_host_bucket_width,
+                primary_index=entry.primary_index,
+                pointer_scheme=self.pointer_scheme,
+                size_model=self.size_model,
+            )
+            mechanism.build()
+        else:
+            raise QueryError(f"unsupported index method {method!r}")
+
+        index_entry = IndexEntry(
+            name=name, table_name=table_name, column=column, method=method,
+            mechanism=mechanism, host_column=host_column,
+            is_preexisting=preexisting,
+        )
+        self.catalog.add_index(index_entry)
+        return index_entry
+
+    def drop_index(self, table_name: str, index_name: str) -> None:
+        """Drop a secondary index."""
+        self.catalog.drop_index(table_name, index_name)
+
+    def _advise(self, entry: TableEntry, column: str,
+                host_column: str | None) -> tuple[IndexMethod, str | None]:
+        """Ask the advisor whether a Hermit index is viable for ``column``."""
+        candidates = [host_column] if host_column else self.catalog.indexed_columns(
+            entry.name
+        )
+        if not candidates:
+            return IndexMethod.BTREE, None
+        recommendation = self.advisor.recommend(entry.table, column, candidates)
+        if recommendation.candidate is not None:
+            self.catalog.record_correlation(entry.name, recommendation.candidate)
+        if recommendation.use_hermit:
+            return IndexMethod.HERMIT, recommendation.host_column
+        return IndexMethod.BTREE, None
+
+    def _host_index_for(self, entry: TableEntry, target_column: str,
+                        host_column: str | None):
+        """Resolve the complete index backing ``host_column``."""
+        if host_column is None:
+            raise QueryError(
+                f"no host column available for a correlation-based index on "
+                f"{target_column!r}"
+            )
+        if host_column == entry.table.schema.primary_key:
+            return entry.primary_index
+        host_entries = [
+            e for e in self.catalog.indexes_on_column(entry.name, host_column)
+            if e.method is IndexMethod.BTREE
+        ]
+        if not host_entries:
+            raise CatalogError(
+                f"column {host_column!r} has no complete index to serve as host"
+            )
+        return host_entries[0].mechanism.index
+
+    # ------------------------------------------------------------------ DML
+
+    def insert(self, table_name: str, row: dict) -> int:
+        """Insert a row, maintaining the primary and all secondary indexes."""
+        entry = self.catalog.table_entry(table_name)
+        location = int(entry.table.insert(row))
+        primary_key = row[entry.table.schema.primary_key]
+        entry.primary_index.insert(float(primary_key), location)
+        for index_entry in entry.indexes.values():
+            index_entry.mechanism.insert(row, location)
+        return location
+
+    def insert_many(self, table_name: str, columns: dict[str, Sequence]) -> list[int]:
+        """Bulk-insert column-oriented data (typically before index creation)."""
+        entry = self.catalog.table_entry(table_name)
+        locations = [int(loc) for loc in entry.table.insert_many(columns)]
+        primary = entry.table.schema.primary_key
+        primary_values = columns[primary]
+        if entry.primary_index.num_entries == 0 and not entry.indexes:
+            entry.primary_index.bulk_load(
+                (float(key), location)
+                for key, location in zip(primary_values, locations)
+            )
+            return locations
+        for position, location in enumerate(locations):
+            entry.primary_index.insert(float(primary_values[position]), location)
+            if entry.indexes:
+                row = entry.table.fetch(location)
+                for index_entry in entry.indexes.values():
+                    index_entry.mechanism.insert(row, location)
+        return locations
+
+    def delete(self, table_name: str, location: int) -> None:
+        """Delete the row at ``location``, maintaining all indexes."""
+        entry = self.catalog.table_entry(table_name)
+        row = entry.table.fetch(location)
+        for index_entry in entry.indexes.values():
+            index_entry.mechanism.delete(row, location)
+        entry.primary_index.delete(float(row[entry.table.schema.primary_key]), location)
+        entry.table.delete(location)
+
+    def update(self, table_name: str, location: int, changes: dict) -> None:
+        """Update a row in place, maintaining all indexes."""
+        entry = self.catalog.table_entry(table_name)
+        old_row = entry.table.fetch(location)
+        entry.table.update(location, changes)
+        new_row = entry.table.fetch(location)
+        for index_entry in entry.indexes.values():
+            index_entry.mechanism.update(old_row, new_row, location)
+
+    # ---------------------------------------------------------------- queries
+
+    def query(self, table_name: str, predicate: RangePredicate) -> QueryResult:
+        """Execute a single-column predicate, using an index when possible."""
+        entry = self.catalog.table_entry(table_name)
+        candidates = self.catalog.indexes_on_column(table_name, predicate.column)
+        chosen = choose_index(candidates)
+        if chosen is None:
+            return full_scan(entry.table, predicate)
+        return execute_with_index(chosen, predicate)
+
+    def query_with(self, table_name: str, index_name: str,
+                   predicate: RangePredicate) -> QueryResult:
+        """Execute a predicate through a specific named index (for benchmarks)."""
+        entry = self.catalog.table_entry(table_name)
+        index_entry = entry.indexes.get(index_name)
+        if index_entry is None:
+            raise CatalogError(
+                f"index {index_name!r} does not exist on table {table_name!r}"
+            )
+        if index_entry.column != predicate.column:
+            raise QueryError(
+                f"index {index_name!r} is on column {index_entry.column!r}, "
+                f"not {predicate.column!r}"
+            )
+        return execute_with_index(index_entry, predicate)
+
+    # ------------------------------------------------------------- accounting
+
+    def memory_report(self, table_name: str | None = None) -> MemoryReport:
+        """Memory breakdown: table, primary index, existing and new indexes."""
+        report = MemoryReport()
+        for entry in self.catalog.tables():
+            if table_name is not None and entry.name != table_name:
+                continue
+            report.add("table", entry.table.memory_bytes())
+            report.add("primary_index", entry.primary_index.memory_bytes())
+            for index_entry in entry.indexes.values():
+                label = ("existing_indexes" if index_entry.is_preexisting
+                         else "new_indexes")
+                report.add(label, index_entry.mechanism.memory_bytes())
+        return report
+
+    def table(self, table_name: str) -> Table:
+        """Return the table object registered under ``table_name``."""
+        return self.catalog.table_entry(table_name).table

@@ -1,0 +1,50 @@
+"""Query execution helpers.
+
+The heavy lifting happens inside the index mechanisms themselves (they each
+implement ``lookup_range`` and return per-phase breakdowns); the executor's
+job is to pick the right access path for a predicate — an index if one exists
+on the predicate column, otherwise a full scan — and to normalise the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hermit import LookupBreakdown
+from repro.engine.catalog import IndexEntry
+from repro.engine.query import QueryResult, RangePredicate
+from repro.storage.table import Table
+
+
+def full_scan(table: Table, predicate: RangePredicate) -> QueryResult:
+    """Answer a predicate by scanning the whole table (the no-index fallback)."""
+    slots, values = table.project([predicate.column])
+    mask = (values >= predicate.low) & (values <= predicate.high)
+    locations = [int(slot) for slot in np.asarray(slots)[mask]]
+    breakdown = LookupBreakdown(lookups=1, candidates=len(locations),
+                                results=len(locations))
+    return QueryResult(locations=sorted(locations), breakdown=breakdown,
+                       used_index=None)
+
+
+def execute_with_index(entry: IndexEntry, predicate: RangePredicate) -> QueryResult:
+    """Execute a predicate through a catalogued index mechanism."""
+    result = entry.mechanism.lookup_range(predicate.low, predicate.high)
+    return QueryResult(
+        locations=sorted(result.locations),
+        breakdown=result.breakdown,
+        used_index=entry.name,
+    )
+
+
+def choose_index(entries: list[IndexEntry]) -> IndexEntry | None:
+    """Pick the index used to serve a predicate.
+
+    Preference order mirrors what a real optimizer would do given the paper's
+    setting: a complete B+-tree first (it never produces false positives),
+    then Hermit, then CM.
+    """
+    if not entries:
+        return None
+    priority = {"btree": 0, "hermit": 1, "correlation_map": 2}
+    return min(entries, key=lambda e: priority.get(e.method.value, 99))

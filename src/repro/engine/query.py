@@ -1,0 +1,68 @@
+"""Query predicates and results.
+
+The evaluation only ever needs single-column point and range predicates plus
+their conjunction with a leading column (the multi-column case of Section 3),
+so the query model is deliberately small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hermit import LookupBreakdown
+from repro.errors import QueryError
+from repro.index.base import KeyRange
+
+
+@dataclass(frozen=True)
+class RangePredicate:
+    """``low <= column <= high``."""
+
+    column: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise QueryError(
+                f"range predicate on {self.column!r} has low > high"
+            )
+
+    @property
+    def key_range(self) -> KeyRange:
+        """The predicate as a :class:`KeyRange`."""
+        return KeyRange(self.low, self.high)
+
+    @property
+    def is_point(self) -> bool:
+        """Whether this predicate matches a single value."""
+        return self.low == self.high
+
+    def matches(self, value: float) -> bool:
+        """Whether ``value`` satisfies the predicate."""
+        return self.low <= value <= self.high
+
+
+def point_predicate(column: str, value: float) -> RangePredicate:
+    """Convenience constructor for ``column == value``."""
+    return RangePredicate(column, value, value)
+
+
+@dataclass
+class QueryResult:
+    """Result of executing one query through the engine.
+
+    Attributes:
+        locations: Row locations of the matching tuples (sorted ascending).
+        breakdown: Per-phase time breakdown accumulated by the mechanism that
+            served the query (empty for full scans).
+        used_index: Name of the index that served the query, or ``None`` when
+            the engine fell back to a full table scan.
+    """
+
+    locations: list[int] = field(default_factory=list)
+    breakdown: LookupBreakdown = field(default_factory=LookupBreakdown)
+    used_index: str | None = None
+
+    def __len__(self) -> int:
+        return len(self.locations)

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table schema is invalid or a column reference cannot be resolved."""
+
+
+class StorageError(ReproError):
+    """The base table or heap file rejected an operation."""
+
+
+class TupleNotFoundError(StorageError):
+    """A tuple identifier does not resolve to a live tuple."""
+
+
+class PageError(StorageError):
+    """A slotted page rejected an operation (overflow, bad slot, ...)."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool cannot satisfy a request (e.g. all frames pinned)."""
+
+
+class IndexError_(ReproError):
+    """An index structure rejected an operation.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class DuplicateKeyError(IndexError_):
+    """A unique index rejected a duplicate key insertion."""
+
+
+class KeyNotFoundError(IndexError_):
+    """A key expected to be present in an index is missing."""
+
+
+class CatalogError(ReproError):
+    """The catalog rejected an operation (unknown table, duplicate index, ...)."""
+
+
+class QueryError(ReproError):
+    """A query or predicate is malformed for the schema it targets."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object carries invalid parameter values."""
+
+
+class CorrelationError(ReproError):
+    """Correlation discovery or correlation-function evaluation failed."""

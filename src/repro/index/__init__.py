@@ -1,0 +1,17 @@
+"""Index substrate: B+-trees (in-memory and paged), hash index, composite index."""
+
+from repro.index.base import Index, IndexStatistics, KeyRange
+from repro.index.bptree import BPlusTree
+from repro.index.composite import CompositeIndex
+from repro.index.hash_index import HashIndex
+from repro.index.paged_bptree import PagedBPlusTree
+
+__all__ = [
+    "BPlusTree",
+    "CompositeIndex",
+    "HashIndex",
+    "Index",
+    "IndexStatistics",
+    "KeyRange",
+    "PagedBPlusTree",
+]

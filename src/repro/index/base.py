@@ -1,0 +1,140 @@
+"""Index interfaces shared by all index structures.
+
+Every index in the library — the in-memory B+-tree, the page-based B+-tree,
+the hash index, the TRS-Tree-backed Hermit index and the Correlation Map —
+exposes the same small surface so the engine's executor, the baselines and the
+benchmarks can swap them freely.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.storage.identifiers import TupleId
+
+
+@dataclass(frozen=True)
+class KeyRange:
+    """A closed interval ``[low, high]`` over an index key domain.
+
+    Point probes are expressed as degenerate ranges where ``low == high``.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            # Normalise reversed bounds; callers that build ranges from a
+            # negative-slope linear function rely on this.
+            low, high = self.high, self.low
+            object.__setattr__(self, "low", low)
+            object.__setattr__(self, "high", high)
+
+    @property
+    def is_point(self) -> bool:
+        """Whether the range denotes a single key."""
+        return self.low == self.high
+
+    @property
+    def width(self) -> float:
+        """Width of the interval."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the closed interval."""
+        return self.low <= value <= self.high
+
+    def overlaps(self, other: "KeyRange") -> bool:
+        """Whether the two closed intervals intersect."""
+        return self.low <= other.high and other.low <= self.high
+
+    def intersect(self, other: "KeyRange") -> "KeyRange | None":
+        """Intersection with ``other``, or None if they are disjoint."""
+        low = max(self.low, other.low)
+        high = min(self.high, other.high)
+        if low > high:
+            return None
+        return KeyRange(low, high)
+
+    @staticmethod
+    def union(ranges: Iterable["KeyRange"]) -> list["KeyRange"]:
+        """Merge overlapping ranges into a minimal disjoint cover.
+
+        This implements the ``Union(RS)`` step of the TRS-Tree lookup
+        (Algorithm 2): ranges produced by neighbouring leaves frequently
+        overlap and merging them avoids redundant host-index probes.
+        """
+        ordered = sorted(ranges, key=lambda r: (r.low, r.high))
+        merged: list[KeyRange] = []
+        for candidate in ordered:
+            if merged and candidate.low <= merged[-1].high:
+                last = merged[-1]
+                if candidate.high > last.high:
+                    merged[-1] = KeyRange(last.low, candidate.high)
+            else:
+                merged.append(candidate)
+        return merged
+
+
+@dataclass
+class IndexStatistics:
+    """Operation counters kept by every index, used in breakdown figures."""
+
+    lookups: int = 0
+    range_lookups: int = 0
+    inserts: int = 0
+    deletes: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.lookups = 0
+        self.range_lookups = 0
+        self.inserts = 0
+        self.deletes = 0
+
+
+class Index(abc.ABC):
+    """Abstract key → tuple-identifier index."""
+
+    def __init__(self) -> None:
+        self.stats = IndexStatistics()
+
+    @abc.abstractmethod
+    def insert(self, key: float, tid: TupleId) -> None:
+        """Insert the mapping ``key -> tid``."""
+
+    @abc.abstractmethod
+    def delete(self, key: float, tid: TupleId) -> None:
+        """Remove the mapping ``key -> tid`` if present."""
+
+    @abc.abstractmethod
+    def search(self, key: float) -> list[TupleId]:
+        """Return all tuple identifiers stored under ``key``."""
+
+    @abc.abstractmethod
+    def range_search(self, key_range: KeyRange) -> list[TupleId]:
+        """Return all tuple identifiers whose key lies in ``key_range``."""
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Analytic size of the structure in bytes."""
+
+    @property
+    @abc.abstractmethod
+    def num_entries(self) -> int:
+        """Number of (key, tid) entries stored."""
+
+    def range_search_many(self, ranges: Sequence[KeyRange]) -> list[TupleId]:
+        """Union of :meth:`range_search` over several ranges."""
+        results: list[TupleId] = []
+        for key_range in ranges:
+            results.extend(self.range_search(key_range))
+        return results
+
+    def bulk_load(self, pairs: Iterable[tuple[float, TupleId]]) -> None:
+        """Insert many (key, tid) pairs; subclasses may override with a faster path."""
+        for key, tid in pairs:
+            self.insert(key, tid)

@@ -1,0 +1,286 @@
+"""In-memory B+-tree.
+
+This is the conventional secondary index the paper calls "Baseline", and it is
+also used as the host index and as the primary index of the in-memory engine.
+Keys are numeric; the tree is non-unique (several tuple identifiers may be
+stored under the same key), which matches how a secondary index on a data
+column behaves.
+
+The implementation is a textbook B+-tree: sorted keys inside fixed-capacity
+nodes, leaf-level sibling chaining for range scans, top-down descent with
+bottom-up splits.  Deletion removes entries but does not rebalance (leaves may
+become under-full); this keeps the structure simple and does not affect any of
+the reproduced experiments, none of which depend on shrink-side rebalancing.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+from repro.errors import KeyNotFoundError
+from repro.index.base import Index, KeyRange
+from repro.storage.identifiers import TupleId
+from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
+
+DEFAULT_NODE_CAPACITY = 32
+
+
+class _Node:
+    __slots__ = ("keys",)
+
+    def __init__(self) -> None:
+        self.keys: list[float] = []
+
+
+class _LeafNode(_Node):
+    __slots__ = ("values", "next_leaf")
+
+    def __init__(self) -> None:
+        super().__init__()
+        # values[i] is the list of tuple ids stored under keys[i]
+        self.values: list[list[TupleId]] = []
+        self.next_leaf: _LeafNode | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+
+class _InternalNode(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        # len(children) == len(keys) + 1
+        self.children: list[_Node] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+
+class BPlusTree(Index):
+    """A non-unique in-memory B+-tree mapping numeric keys to tuple ids.
+
+    Args:
+        node_capacity: Maximum number of keys per node before it splits.
+        size_model: Analytic cost model for :meth:`memory_bytes`.
+    """
+
+    def __init__(self, node_capacity: int = DEFAULT_NODE_CAPACITY,
+                 size_model: SizeModel = DEFAULT_SIZE_MODEL) -> None:
+        super().__init__()
+        if node_capacity < 4:
+            raise ValueError("node_capacity must be at least 4")
+        self.node_capacity = node_capacity
+        self._size_model = size_model
+        self._root: _Node = _LeafNode()
+        self._num_entries = 0
+        self._height = 1
+
+    # ------------------------------------------------------------------ write
+
+    def insert(self, key: float, tid: TupleId) -> None:
+        """Insert ``key -> tid``; duplicates of the same pair are allowed."""
+        self.stats.inserts += 1
+        split = self._insert_into(self._root, float(key), tid)
+        if split is not None:
+            separator, right = split
+            new_root = _InternalNode()
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+        self._num_entries += 1
+
+    def delete(self, key: float, tid: TupleId) -> None:
+        """Remove one occurrence of ``key -> tid``.
+
+        Raises:
+            KeyNotFoundError: If the pair is not present.
+        """
+        self.stats.deletes += 1
+        key = float(key)
+        leaf = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            tids = leaf.values[index]
+            try:
+                tids.remove(tid)
+            except ValueError:
+                raise KeyNotFoundError(
+                    f"tid {tid!r} is not stored under key {key!r}"
+                ) from None
+            if not tids:
+                leaf.keys.pop(index)
+                leaf.values.pop(index)
+            self._num_entries -= 1
+            return
+        raise KeyNotFoundError(f"key {key!r} is not in the index")
+
+    def bulk_load(self, pairs: Iterable[tuple[float, TupleId]]) -> None:
+        """Build the tree from (key, tid) pairs.
+
+        Pairs are sorted, packed into leaves at ~70% fill and the internal
+        levels are built bottom-up, mirroring the single-thread bulk loading
+        the paper uses for the baseline B+-tree.
+        """
+        ordered = sorted(((float(k), t) for k, t in pairs), key=lambda p: p[0])
+        if not ordered:
+            return
+        fill = max(4, int(self.node_capacity * 0.7))
+        leaves: list[_LeafNode] = []
+        current = _LeafNode()
+        for key, tid in ordered:
+            if current.keys and current.keys[-1] == key:
+                current.values[-1].append(tid)
+            else:
+                if len(current.keys) >= fill:
+                    leaves.append(current)
+                    fresh = _LeafNode()
+                    current.next_leaf = fresh
+                    current = fresh
+                current.keys.append(key)
+                current.values.append([tid])
+            self._num_entries += 1
+        leaves.append(current)
+
+        level: list[_Node] = list(leaves)
+        self._height = 1
+        while len(level) > 1:
+            parents: list[_Node] = []
+            for start in range(0, len(level), fill):
+                group = level[start:start + fill]
+                if len(group) == 1:
+                    parents.append(group[0])
+                    continue
+                parent = _InternalNode()
+                parent.children = list(group)
+                parent.keys = [self._smallest_key(child) for child in group[1:]]
+                parents.append(parent)
+            level = parents
+            self._height += 1
+        self._root = level[0]
+
+    # ------------------------------------------------------------------- read
+
+    def search(self, key: float) -> list[TupleId]:
+        """Return all tuple ids stored under ``key`` (empty list if absent)."""
+        self.stats.lookups += 1
+        key = float(key)
+        leaf = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return list(leaf.values[index])
+        return []
+
+    def range_search(self, key_range: KeyRange) -> list[TupleId]:
+        """Return all tuple ids whose key lies in the closed ``key_range``."""
+        self.stats.range_lookups += 1
+        results: list[TupleId] = []
+        leaf: _LeafNode | None = self._find_leaf(key_range.low)
+        start = bisect.bisect_left(leaf.keys, key_range.low)
+        while leaf is not None:
+            for index in range(start, len(leaf.keys)):
+                key = leaf.keys[index]
+                if key > key_range.high:
+                    return results
+                results.extend(leaf.values[index])
+            leaf = leaf.next_leaf
+            start = 0
+        return results
+
+    def items(self) -> Iterator[tuple[float, TupleId]]:
+        """Iterate all (key, tid) pairs in key order."""
+        leaf: _LeafNode | None = self._leftmost_leaf()
+        while leaf is not None:
+            for key, tids in zip(leaf.keys, leaf.values):
+                for tid in tids:
+                    yield key, tid
+            leaf = leaf.next_leaf
+
+    # ------------------------------------------------------------- accounting
+
+    @property
+    def num_entries(self) -> int:
+        """Number of (key, tid) entries stored."""
+        return self._num_entries
+
+    @property
+    def height(self) -> int:
+        """Number of levels, including the leaf level."""
+        return self._height
+
+    def memory_bytes(self) -> int:
+        """Analytic size in bytes (see :class:`SizeModel`)."""
+        return self._size_model.btree_bytes(self._num_entries, self.node_capacity)
+
+    # ---------------------------------------------------------------- private
+
+    def _find_leaf(self, key: float) -> _LeafNode:
+        node = self._root
+        while not node.is_leaf:
+            index = bisect.bisect_right(node.keys, key)
+            node = node.children[index]
+        return node  # type: ignore[return-value]
+
+    def _leftmost_leaf(self) -> _LeafNode:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node  # type: ignore[return-value]
+
+    def _smallest_key(self, node: _Node) -> float:
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    def _insert_into(self, node: _Node, key: float,
+                     tid: TupleId) -> tuple[float, _Node] | None:
+        if node.is_leaf:
+            return self._insert_into_leaf(node, key, tid)  # type: ignore[arg-type]
+        internal: _InternalNode = node  # type: ignore[assignment]
+        index = bisect.bisect_right(internal.keys, key)
+        split = self._insert_into(internal.children[index], key, tid)
+        if split is None:
+            return None
+        separator, right = split
+        internal.keys.insert(index, separator)
+        internal.children.insert(index + 1, right)
+        if len(internal.keys) <= self.node_capacity:
+            return None
+        return self._split_internal(internal)
+
+    def _insert_into_leaf(self, leaf: _LeafNode, key: float,
+                          tid: TupleId) -> tuple[float, _Node] | None:
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            leaf.values[index].append(tid)
+            return None
+        leaf.keys.insert(index, key)
+        leaf.values.insert(index, [tid])
+        if len(leaf.keys) <= self.node_capacity:
+            return None
+        return self._split_leaf(leaf)
+
+    def _split_leaf(self, leaf: _LeafNode) -> tuple[float, _Node]:
+        middle = len(leaf.keys) // 2
+        right = _LeafNode()
+        right.keys = leaf.keys[middle:]
+        right.values = leaf.values[middle:]
+        leaf.keys = leaf.keys[:middle]
+        leaf.values = leaf.values[:middle]
+        right.next_leaf = leaf.next_leaf
+        leaf.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _InternalNode) -> tuple[float, _Node]:
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = _InternalNode()
+        right.keys = node.keys[middle + 1:]
+        right.children = node.children[middle + 1:]
+        node.keys = node.keys[:middle]
+        node.children = node.children[:middle + 1]
+        return separator, right

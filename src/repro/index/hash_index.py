@@ -1,0 +1,96 @@
+"""Hash index.
+
+Used in two places:
+
+* as the engine's *primary index* when the workload only ever resolves primary
+  keys to row locations (the logical-pointer scheme performs exactly this
+  probe in Step 3 of Hermit's lookup), and
+* as the implementation of the TRS-Tree leaf outlier buffers, which the paper
+  describes as "a hash table mapping from m to the corresponding tuple's
+  identifier".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+from repro.errors import KeyNotFoundError
+from repro.index.base import Index, KeyRange
+from repro.storage.identifiers import TupleId
+from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
+
+
+class HashIndex(Index):
+    """A non-unique hash index mapping keys to lists of tuple identifiers."""
+
+    def __init__(self, size_model: SizeModel = DEFAULT_SIZE_MODEL) -> None:
+        super().__init__()
+        self._size_model = size_model
+        self._buckets: dict[float, list[TupleId]] = defaultdict(list)
+        self._num_entries = 0
+
+    def insert(self, key: float, tid: TupleId) -> None:
+        """Insert ``key -> tid``."""
+        self.stats.inserts += 1
+        self._buckets[key].append(tid)
+        self._num_entries += 1
+
+    def delete(self, key: float, tid: TupleId) -> None:
+        """Remove one occurrence of ``key -> tid``.
+
+        Raises:
+            KeyNotFoundError: If the pair is absent.
+        """
+        self.stats.deletes += 1
+        tids = self._buckets.get(key)
+        if not tids:
+            raise KeyNotFoundError(f"key {key!r} is not in the index")
+        try:
+            tids.remove(tid)
+        except ValueError:
+            raise KeyNotFoundError(
+                f"tid {tid!r} is not stored under key {key!r}"
+            ) from None
+        if not tids:
+            del self._buckets[key]
+        self._num_entries -= 1
+
+    def search(self, key: float) -> list[TupleId]:
+        """Return all tuple ids stored under ``key``."""
+        self.stats.lookups += 1
+        return list(self._buckets.get(key, ()))
+
+    def range_search(self, key_range: KeyRange) -> list[TupleId]:
+        """Return all tuple ids whose key falls in ``key_range``.
+
+        A hash index has no key order, so this is a full bucket scan; it
+        exists only to satisfy the common interface (the engine never routes
+        range predicates to a hash index).
+        """
+        self.stats.range_lookups += 1
+        results: list[TupleId] = []
+        for key, tids in self._buckets.items():
+            if key_range.contains(key):
+                results.extend(tids)
+        return results
+
+    def items(self) -> Iterator[tuple[float, TupleId]]:
+        """Iterate all (key, tid) pairs in arbitrary order."""
+        for key, tids in self._buckets.items():
+            for tid in tids:
+                yield key, tid
+
+    @property
+    def num_entries(self) -> int:
+        """Number of (key, tid) entries stored."""
+        return self._num_entries
+
+    @property
+    def num_keys(self) -> int:
+        """Number of distinct keys."""
+        return len(self._buckets)
+
+    def memory_bytes(self) -> int:
+        """Analytic size in bytes."""
+        return self._size_model.hash_table_bytes(self._num_entries)

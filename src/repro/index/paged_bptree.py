@@ -1,0 +1,247 @@
+"""Page-based B+-tree over the buffer pool.
+
+This is the secondary/host index of the disk-based substrate (the PostgreSQL
+stand-in used for Figure 24).  Every tree node occupies exactly one page of the
+simulated disk, so each node visited during a descent or a leaf-chain scan
+costs one buffer-pool request — a hit when cached, a charged page read when
+not.  This is what makes the simulated cost breakdown of disk-based lookups
+meaningful.
+
+Node payloads are stored as the single "row" of their page:
+``("L", keys, value_lists, next_leaf_page)`` for leaves and
+``("I", keys, child_page_ids)`` for internal nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import bisect
+
+from repro.errors import KeyNotFoundError
+from repro.index.base import Index, KeyRange
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.identifiers import TupleId
+from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
+
+_LEAF = "L"
+_INTERNAL = "I"
+
+
+class PagedBPlusTree(Index):
+    """A non-unique B+-tree whose nodes live in buffer-pool pages.
+
+    Args:
+        buffer_pool: Pool providing access to the simulated disk.
+        node_capacity: Maximum number of keys per node before it splits.
+        size_model: Analytic model for :meth:`memory_bytes` (in-memory
+            footprint of the cached portion; the on-disk footprint is
+            ``num_pages * page_size``).
+    """
+
+    def __init__(self, buffer_pool: BufferPool, node_capacity: int = 64,
+                 size_model: SizeModel = DEFAULT_SIZE_MODEL) -> None:
+        super().__init__()
+        if node_capacity < 4:
+            raise ValueError("node_capacity must be at least 4")
+        self.pool = buffer_pool
+        self.node_capacity = node_capacity
+        self._size_model = size_model
+        self._num_entries = 0
+        self._height = 1
+        self._num_nodes = 1
+        self._root_page = self._new_node(_LEAF, [], [], None)
+
+    # ----------------------------------------------------------- node storage
+
+    def _new_node(self, kind: str, keys: list, payload: list,
+                  next_leaf: int | None) -> int:
+        page = self.pool.new_page(capacity=1)
+        page.rows = [(kind, keys, payload, next_leaf)]
+        self.pool.unpin_page(page.page_id, dirty=True)
+        return page.page_id
+
+    def _read_node(self, page_id: int) -> tuple[str, list, list, int | None]:
+        page = self.pool.fetch_page(page_id)
+        try:
+            kind, keys, payload, next_leaf = page.rows[0]
+        finally:
+            self.pool.unpin_page(page_id)
+        return kind, keys, payload, next_leaf
+
+    def _write_node(self, page_id: int, kind: str, keys: list, payload: list,
+                    next_leaf: int | None) -> None:
+        page = self.pool.fetch_page(page_id)
+        try:
+            page.rows[0] = (kind, keys, payload, next_leaf)
+        finally:
+            self.pool.unpin_page(page_id, dirty=True)
+
+    # ------------------------------------------------------------------ write
+
+    def insert(self, key: float, tid: TupleId) -> None:
+        """Insert ``key -> tid``."""
+        self.stats.inserts += 1
+        old_root = self._root_page
+        split = self._insert_recursive(self._root_page, float(key), tid)
+        if split is not None:
+            separator, right_page = split
+            self._root_page = self._new_node(
+                _INTERNAL, [separator], [old_root, right_page], None
+            )
+            self._num_nodes += 1
+            self._height += 1
+        self._num_entries += 1
+
+    def delete(self, key: float, tid: TupleId) -> None:
+        """Remove one occurrence of ``key -> tid``.
+
+        Raises:
+            KeyNotFoundError: If the pair is not present.
+        """
+        self.stats.deletes += 1
+        key = float(key)
+        leaf_page = self._find_leaf(key)
+        kind, keys, values, next_leaf = self._read_node(leaf_page)
+        index = bisect.bisect_left(keys, key)
+        if index < len(keys) and keys[index] == key:
+            tids = values[index]
+            if tid not in tids:
+                raise KeyNotFoundError(f"tid {tid!r} is not stored under {key!r}")
+            tids.remove(tid)
+            if not tids:
+                keys.pop(index)
+                values.pop(index)
+            self._write_node(leaf_page, kind, keys, values, next_leaf)
+            self._num_entries -= 1
+            return
+        raise KeyNotFoundError(f"key {key!r} is not in the index")
+
+    # ------------------------------------------------------------------- read
+
+    def search(self, key: float) -> list[TupleId]:
+        """Return all tuple ids stored under ``key``."""
+        self.stats.lookups += 1
+        key = float(key)
+        leaf_page = self._find_leaf(key)
+        _, keys, values, _ = self._read_node(leaf_page)
+        index = bisect.bisect_left(keys, key)
+        if index < len(keys) and keys[index] == key:
+            return list(values[index])
+        return []
+
+    def range_search(self, key_range: KeyRange) -> list[TupleId]:
+        """Return all tuple ids whose key lies in the closed ``key_range``."""
+        self.stats.range_lookups += 1
+        results: list[TupleId] = []
+        leaf_page: int | None = self._find_leaf(key_range.low)
+        while leaf_page is not None:
+            _, keys, values, next_leaf = self._read_node(leaf_page)
+            start = bisect.bisect_left(keys, key_range.low)
+            for index in range(start, len(keys)):
+                if keys[index] > key_range.high:
+                    return results
+                results.extend(values[index])
+            leaf_page = next_leaf
+        return results
+
+    def items(self) -> Iterator[tuple[float, TupleId]]:
+        """Iterate all (key, tid) pairs in key order."""
+        leaf_page: int | None = self._leftmost_leaf()
+        while leaf_page is not None:
+            _, keys, values, next_leaf = self._read_node(leaf_page)
+            for key, tids in zip(keys, values):
+                for tid in tids:
+                    yield key, tid
+            leaf_page = next_leaf
+
+    # ------------------------------------------------------------- accounting
+
+    @property
+    def num_entries(self) -> int:
+        """Number of (key, tid) entries stored."""
+        return self._num_entries
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of tree nodes (= pages) allocated."""
+        return self._num_nodes
+
+    @property
+    def height(self) -> int:
+        """Number of levels, including the leaf level."""
+        return self._height
+
+    def memory_bytes(self) -> int:
+        """Analytic size in bytes, charged like the in-memory B+-tree."""
+        return self._size_model.btree_bytes(self._num_entries, self.node_capacity)
+
+    def disk_bytes(self) -> int:
+        """On-disk footprint of the tree."""
+        return self._num_nodes * self.pool.disk.page_size
+
+    # ---------------------------------------------------------------- private
+
+    def _find_leaf(self, key: float) -> int:
+        page_id = self._root_page
+        while True:
+            kind, keys, payload, _ = self._read_node(page_id)
+            if kind == _LEAF:
+                return page_id
+            index = bisect.bisect_right(keys, key)
+            page_id = payload[index]
+
+    def _leftmost_leaf(self) -> int:
+        page_id = self._root_page
+        while True:
+            kind, _, payload, _ = self._read_node(page_id)
+            if kind == _LEAF:
+                return page_id
+            page_id = payload[0]
+
+    def _insert_recursive(self, page_id: int, key: float,
+                          tid: TupleId) -> tuple[float, int] | None:
+        kind, keys, payload, next_leaf = self._read_node(page_id)
+        if kind == _LEAF:
+            index = bisect.bisect_left(keys, key)
+            if index < len(keys) and keys[index] == key:
+                payload[index].append(tid)
+                self._write_node(page_id, kind, keys, payload, next_leaf)
+                return None
+            keys.insert(index, key)
+            payload.insert(index, [tid])
+            if len(keys) <= self.node_capacity:
+                self._write_node(page_id, kind, keys, payload, next_leaf)
+                return None
+            return self._split_leaf(page_id, keys, payload, next_leaf)
+
+        index = bisect.bisect_right(keys, key)
+        split = self._insert_recursive(payload[index], key, tid)
+        if split is None:
+            return None
+        separator, right_page = split
+        keys.insert(index, separator)
+        payload.insert(index + 1, right_page)
+        if len(keys) <= self.node_capacity:
+            self._write_node(page_id, kind, keys, payload, None)
+            return None
+        return self._split_internal(page_id, keys, payload)
+
+    def _split_leaf(self, page_id: int, keys: list, values: list,
+                    next_leaf: int | None) -> tuple[float, int]:
+        middle = len(keys) // 2
+        right_page = self._new_node(_LEAF, keys[middle:], values[middle:], next_leaf)
+        self._num_nodes += 1
+        self._write_node(page_id, _LEAF, keys[:middle], values[:middle], right_page)
+        return keys[middle], right_page
+
+    def _split_internal(self, page_id: int, keys: list,
+                        children: list) -> tuple[float, int]:
+        middle = len(keys) // 2
+        separator = keys[middle]
+        right_page = self._new_node(
+            _INTERNAL, keys[middle + 1:], children[middle + 1:], None
+        )
+        self._num_nodes += 1
+        self._write_node(page_id, _INTERNAL, keys[:middle], children[:middle + 1], None)
+        return separator, right_page

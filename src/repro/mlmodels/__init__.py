@@ -1,0 +1,18 @@
+"""Regression models used inside TRS-Tree leaves and by the Table 1 comparison."""
+
+from repro.mlmodels.kernel import (
+    KernelRegressionModel,
+    linear_kernel,
+    polynomial_kernel,
+    rbf_kernel,
+)
+from repro.mlmodels.linear import LinearRegressionModel, TrainingResult
+
+__all__ = [
+    "KernelRegressionModel",
+    "LinearRegressionModel",
+    "TrainingResult",
+    "linear_kernel",
+    "polynomial_kernel",
+    "rbf_kernel",
+]

@@ -1,0 +1,59 @@
+"""Ordinary-least-squares linear regression as a standalone model.
+
+This is the model class TRS-Tree leaves embed (through
+:mod:`repro.core.regression`); it is exposed separately so the Table 1
+training-time comparison can train it on the same datasets as the kernel
+models through one common interface.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.regression import fit_linear
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one model-training run (used by the Table 1 bench)."""
+
+    model_name: str
+    num_tuples: int
+    seconds: float
+    mean_absolute_error: float
+
+
+class LinearRegressionModel:
+    """Univariate OLS regression ``y = beta * x + alpha``."""
+
+    name = "linear-regression"
+
+    def __init__(self) -> None:
+        self.beta = 0.0
+        self.alpha = 0.0
+        self._fitted = False
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearRegressionModel":
+        """Fit the model with the closed-form OLS solution (one data pass)."""
+        self.beta, self.alpha = fit_linear(
+            np.asarray(x, dtype=np.float64), np.asarray(y, dtype=np.float64)
+        )
+        self._fitted = True
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict host values for target values ``x``."""
+        if not self._fitted:
+            raise RuntimeError("model must be fitted before predicting")
+        return self.beta * np.asarray(x, dtype=np.float64) + self.alpha
+
+    def timed_fit(self, x: np.ndarray, y: np.ndarray) -> TrainingResult:
+        """Fit the model and report wall-clock training time and accuracy."""
+        started = time.perf_counter()
+        self.fit(x, y)
+        elapsed = time.perf_counter() - started
+        error = float(np.mean(np.abs(self.predict(x) - y))) if len(x) else 0.0
+        return TrainingResult(self.name, len(x), elapsed, error)

@@ -1,0 +1,129 @@
+"""Page-based heap table for the disk-based substrate.
+
+Stores tuples of a :class:`~repro.storage.schema.TableSchema` in slotted pages
+behind a :class:`~repro.storage.buffer_pool.BufferPool`.  Row locations are
+``page_id * slots_per_page + slot`` so that the same integer identifiers flow
+through the indexes regardless of substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import TupleNotFoundError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.identifiers import decode_page_slot, encode_page_slot
+from repro.storage.pages import slots_per_page
+from repro.storage.schema import TableSchema
+
+
+class HeapFile:
+    """A heap of fixed-width tuples stored in buffered pages.
+
+    Args:
+        schema: Table schema; determines the per-page tuple capacity.
+        buffer_pool: Pool through which every page access goes.
+    """
+
+    def __init__(self, schema: TableSchema, buffer_pool: BufferPool) -> None:
+        self.schema = schema
+        self.pool = buffer_pool
+        self.slots_per_page = slots_per_page(
+            schema.row_byte_width(), buffer_pool.disk.page_size
+        )
+        self._page_ids: list[int] = []
+        self._num_rows = 0
+
+    # ------------------------------------------------------------------ write
+
+    def insert(self, row: dict) -> int:
+        """Insert a row and return its encoded location."""
+        self.schema.validate_row(row)
+        payload = tuple(row.get(column.name) for column in self.schema)
+        page = self._page_with_space()
+        slot = page.insert(payload)
+        self.pool.unpin_page(page.page_id, dirty=True)
+        self._num_rows += 1
+        return encode_page_slot(page.page_id, slot, self.slots_per_page)
+
+    def insert_many(self, rows: Sequence[dict]) -> list[int]:
+        """Insert many rows, returning their locations in order."""
+        return [self.insert(row) for row in rows]
+
+    def delete(self, location: int) -> None:
+        """Delete the row at ``location``."""
+        page_id, slot = self._decode(location)
+        page = self.pool.fetch_page(page_id)
+        try:
+            page.delete(slot)
+        finally:
+            self.pool.unpin_page(page_id, dirty=True)
+        self._num_rows -= 1
+
+    # ------------------------------------------------------------------- read
+
+    def fetch(self, location: int) -> dict:
+        """Fetch the row at ``location`` as a dict."""
+        page_id, slot = self._decode(location)
+        page = self.pool.fetch_page(page_id)
+        try:
+            payload = page.read(slot)
+        finally:
+            self.pool.unpin_page(page_id)
+        return {column.name: payload[i] for i, column in enumerate(self.schema)}
+
+    def value(self, location: int, column_name: str):
+        """Fetch a single column of the row at ``location``."""
+        position = self.schema.position_of(column_name)
+        page_id, slot = self._decode(location)
+        page = self.pool.fetch_page(page_id)
+        try:
+            payload = page.read(slot)
+        finally:
+            self.pool.unpin_page(page_id)
+        return payload[position]
+
+    def scan(self) -> Iterator[tuple[int, dict]]:
+        """Iterate ``(location, row)`` pairs over all live rows."""
+        for page_id in self._page_ids:
+            page = self.pool.fetch_page(page_id)
+            try:
+                for slot, payload in enumerate(page.rows):
+                    if payload is None:
+                        continue
+                    location = encode_page_slot(page_id, slot, self.slots_per_page)
+                    yield location, {
+                        column.name: payload[i]
+                        for i, column in enumerate(self.schema)
+                    }
+            finally:
+                self.pool.unpin_page(page_id)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of live rows."""
+        return self._num_rows
+
+    @property
+    def num_pages(self) -> int:
+        """Number of heap pages allocated."""
+        return len(self._page_ids)
+
+    # ---------------------------------------------------------------- private
+
+    def _page_with_space(self):
+        if self._page_ids:
+            last_id = self._page_ids[-1]
+            page = self.pool.fetch_page(last_id)
+            if not page.is_full:
+                return page
+            self.pool.unpin_page(last_id)
+        page = self.pool.new_page(self.slots_per_page)
+        self._page_ids.append(page.page_id)
+        return page
+
+    def _decode(self, location: int) -> tuple[int, int]:
+        page_id, slot = decode_page_slot(int(location), self.slots_per_page)
+        if page_id not in set(self._page_ids):
+            raise TupleNotFoundError(f"location {location} is not in this heap file")
+        return page_id, slot

@@ -1,0 +1,63 @@
+"""Tuple identifier schemes.
+
+The paper (Section 5.1) distinguishes two ways a secondary index can refer to
+a tuple:
+
+* **Logical pointers** — the secondary index stores the tuple's *primary key*;
+  every secondary-index lookup must then traverse the primary index to obtain
+  the tuple location (MySQL/InnoDB style).
+* **Physical pointers** — the secondary index stores the tuple's *location*
+  directly (PostgreSQL style), avoiding the primary-index hop but requiring
+  index maintenance whenever a tuple moves.
+
+Hermit must work with both, and the evaluation reports every throughput figure
+under both schemes, so the identifier scheme is a first-class concept here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PointerScheme(enum.Enum):
+    """Which identifier a secondary index stores for each key."""
+
+    LOGICAL = "logical"
+    PHYSICAL = "physical"
+
+    @property
+    def needs_primary_lookup(self) -> bool:
+        """Whether resolving an identifier requires a primary-index probe."""
+        return self is PointerScheme.LOGICAL
+
+
+@dataclass(frozen=True, order=True)
+class RowLocation:
+    """Physical location of a tuple: a row slot in the base table.
+
+    For the in-memory columnar table this is simply the row position.  For the
+    page-based heap file it is encoded as ``(page_id, slot)`` flattened into a
+    single integer so that both substrates share one identifier type.
+    """
+
+    slot: int
+
+    def __int__(self) -> int:
+        return self.slot
+
+
+# Type aliases used throughout the code base.  A *tuple identifier* is either a
+# primary-key value (logical scheme) or a RowLocation slot (physical scheme);
+# both are carried as plain Python ints/floats to keep hot paths cheap.
+TupleId = int | float
+
+
+def encode_page_slot(page_id: int, slot: int, slots_per_page: int) -> int:
+    """Flatten ``(page_id, slot)`` into a single integer row location."""
+    return page_id * slots_per_page + slot
+
+
+def decode_page_slot(location: int, slots_per_page: int) -> tuple[int, int]:
+    """Inverse of :func:`encode_page_slot`."""
+    return divmod(location, slots_per_page)

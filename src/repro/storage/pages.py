@@ -1,0 +1,96 @@
+"""Slotted heap pages for the disk-based substrate.
+
+The PostgreSQL side of the evaluation (Figure 24) accesses tuples through a
+page-structured heap behind a buffer pool.  To keep the simulation honest we
+model pages with a fixed byte budget: each page holds at most
+``capacity = (page_size - header) // row_width`` tuples, and every access to a
+tuple must first bring its page into the buffer pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PageError
+
+DEFAULT_PAGE_SIZE = 8192
+PAGE_HEADER_BYTES = 24
+SLOT_POINTER_BYTES = 4
+
+
+def slots_per_page(row_byte_width: int, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """Number of tuples of width ``row_byte_width`` that fit in one page."""
+    usable = page_size - PAGE_HEADER_BYTES
+    per_row = row_byte_width + SLOT_POINTER_BYTES
+    capacity = usable // per_row
+    if capacity <= 0:
+        raise PageError(
+            f"row width {row_byte_width} does not fit in a {page_size}-byte page"
+        )
+    return capacity
+
+
+@dataclass
+class SlottedPage:
+    """A heap page holding fixed-width tuples in slots.
+
+    Attributes:
+        page_id: Identifier of the page within its file.
+        capacity: Maximum number of tuples the page can hold.
+        rows: Slot-indexed tuple payloads (``None`` marks a free/deleted slot).
+    """
+
+    page_id: int
+    capacity: int
+    rows: list[tuple | None] = field(default_factory=list)
+
+    @property
+    def num_live(self) -> int:
+        """Number of occupied slots."""
+        return sum(1 for row in self.rows if row is not None)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether no further tuple can be appended."""
+        return len(self.rows) >= self.capacity and all(
+            row is not None for row in self.rows
+        )
+
+    def insert(self, row: tuple) -> int:
+        """Insert ``row`` into the first free slot and return the slot number.
+
+        Raises:
+            PageError: If the page is full.
+        """
+        for slot, existing in enumerate(self.rows):
+            if existing is None:
+                self.rows[slot] = row
+                return slot
+        if len(self.rows) >= self.capacity:
+            raise PageError(f"page {self.page_id} is full")
+        self.rows.append(row)
+        return len(self.rows) - 1
+
+    def read(self, slot: int) -> tuple:
+        """Return the tuple stored in ``slot``.
+
+        Raises:
+            PageError: If the slot is out of range or empty.
+        """
+        if not (0 <= slot < len(self.rows)) or self.rows[slot] is None:
+            raise PageError(f"page {self.page_id} has no live tuple in slot {slot}")
+        return self.rows[slot]
+
+    def delete(self, slot: int) -> None:
+        """Free ``slot``.
+
+        Raises:
+            PageError: If the slot is out of range or already empty.
+        """
+        self.read(slot)
+        self.rows[slot] = None
+
+    def update(self, slot: int, row: tuple) -> None:
+        """Overwrite the tuple in ``slot`` with ``row``."""
+        self.read(slot)
+        self.rows[slot] = row

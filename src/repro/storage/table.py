@@ -1,0 +1,279 @@
+"""In-memory columnar base table.
+
+This is the storage substrate of the "DBMS-X" side of the evaluation: an
+append-only, column-oriented table whose columns are numpy arrays.  Rows are
+addressed by their slot number (a :class:`~repro.storage.identifiers.RowLocation`);
+deleting a row marks the slot dead rather than compacting, which mirrors how a
+main-memory RDBMS with physical tuple pointers behaves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import StorageError, TupleNotFoundError
+from repro.storage.identifiers import RowLocation
+from repro.storage.memory import DEFAULT_SIZE_MODEL, MemoryReport, SizeModel
+from repro.storage.schema import ColumnStatistics, DataType, TableSchema
+
+_INITIAL_CAPACITY = 64
+
+
+class Table:
+    """A columnar, slot-addressed, in-memory table.
+
+    Args:
+        schema: The table schema.
+        size_model: Cost model used for analytic memory accounting.
+
+    Rows are inserted as dictionaries mapping column names to values; missing
+    nullable columns are stored as NaN (floats) / 0 (ints) / None (strings).
+    """
+
+    def __init__(self, schema: TableSchema,
+                 size_model: SizeModel = DEFAULT_SIZE_MODEL) -> None:
+        self.schema = schema
+        self._size_model = size_model
+        self._capacity = _INITIAL_CAPACITY
+        self._columns: dict[str, np.ndarray] = {
+            column.name: np.zeros(self._capacity, dtype=column.dtype.numpy_dtype)
+            for column in schema
+        }
+        self._live = np.zeros(self._capacity, dtype=bool)
+        self._next_slot = 0
+        self._live_count = 0
+        self.statistics: dict[str, ColumnStatistics] = {
+            column.name: ColumnStatistics() for column in schema
+        }
+
+    # ------------------------------------------------------------------ write
+
+    def insert(self, row: dict) -> RowLocation:
+        """Insert one row and return its location.
+
+        Raises:
+            SchemaError: If the row does not match the schema.
+        """
+        self.schema.validate_row(row)
+        slot = self._allocate_slot()
+        for column in self.schema:
+            value = row.get(column.name, self._null_value(column.dtype))
+            self._columns[column.name][slot] = value
+            if column.name in row and column.dtype is not DataType.STRING:
+                self.statistics[column.name].observe(float(value))
+        self._live[slot] = True
+        self._live_count += 1
+        return RowLocation(slot)
+
+    def insert_many(self, rows: dict[str, Sequence]) -> list[RowLocation]:
+        """Bulk-insert column-oriented data.
+
+        Args:
+            rows: Mapping from column name to an equal-length sequence of
+                values.  Columns not supplied must be nullable.
+
+        Returns:
+            The locations of the inserted rows, in insertion order.
+        """
+        if not rows:
+            return []
+        lengths = {len(values) for values in rows.values()}
+        if len(lengths) != 1:
+            raise StorageError("insert_many received columns of unequal length")
+        count = lengths.pop()
+        if count == 0:
+            return []
+        for name in rows:
+            if name not in self.schema:
+                raise StorageError(
+                    f"insert_many references unknown column {name!r}"
+                )
+        start = self._next_slot
+        self._reserve(start + count)
+        for column in self.schema:
+            target = self._columns[column.name]
+            if column.name in rows:
+                values = np.asarray(rows[column.name])
+                target[start:start + count] = values
+                if column.dtype is not DataType.STRING:
+                    self.statistics[column.name].observe_many(
+                        values.astype(np.float64)
+                    )
+            else:
+                target[start:start + count] = self._null_value(column.dtype)
+        self._live[start:start + count] = True
+        self._next_slot = start + count
+        self._live_count += count
+        return [RowLocation(slot) for slot in range(start, start + count)]
+
+    def delete(self, location: RowLocation | int) -> None:
+        """Mark the row at ``location`` as deleted.
+
+        Raises:
+            TupleNotFoundError: If the slot is out of range or already dead.
+        """
+        slot = self._check_live(location)
+        self._live[slot] = False
+        self._live_count -= 1
+
+    def update(self, location: RowLocation | int, changes: dict) -> None:
+        """Update columns of a live row in place.
+
+        Raises:
+            TupleNotFoundError: If the slot does not hold a live row.
+            StorageError: If ``changes`` references an unknown column.
+        """
+        slot = self._check_live(location)
+        for name, value in changes.items():
+            if name not in self.schema:
+                raise StorageError(f"update references unknown column {name!r}")
+            self._columns[name][slot] = value
+            if self.schema.column(name).dtype is not DataType.STRING:
+                self.statistics[name].observe(float(value))
+
+    # ------------------------------------------------------------------- read
+
+    def fetch(self, location: RowLocation | int) -> dict:
+        """Return the full row stored at ``location`` as a dict."""
+        slot = self._check_live(location)
+        return {
+            column.name: self._columns[column.name][slot].item()
+            if column.dtype is not DataType.STRING
+            else self._columns[column.name][slot]
+            for column in self.schema
+        }
+
+    def value(self, location: RowLocation | int, column_name: str):
+        """Return a single column value of a live row."""
+        slot = self._check_live(location)
+        self.schema.position_of(column_name)
+        value = self._columns[column_name][slot]
+        return value.item() if hasattr(value, "item") else value
+
+    def values(self, locations: Iterable[RowLocation | int],
+               column_name: str) -> np.ndarray:
+        """Vectorised fetch of one column for many row locations.
+
+        Dead slots are not checked here (hot path); callers that may hold
+        stale locations should use :meth:`is_live` first.
+        """
+        self.schema.position_of(column_name)
+        slots = np.fromiter((int(loc) for loc in locations), dtype=np.int64)
+        return self._columns[column_name][slots]
+
+    def column_array(self, column_name: str) -> np.ndarray:
+        """Return the live values of a column along with their slots.
+
+        Returns:
+            A read-only view of the column restricted to live slots, aligned
+            with :meth:`live_slots`.
+        """
+        self.schema.position_of(column_name)
+        return self._columns[column_name][: self._next_slot][
+            self._live[: self._next_slot]
+        ]
+
+    def live_slots(self) -> np.ndarray:
+        """Slot numbers of all live rows, ascending."""
+        return np.flatnonzero(self._live[: self._next_slot])
+
+    def is_live(self, location: RowLocation | int) -> bool:
+        """Whether ``location`` refers to a live row."""
+        slot = int(location)
+        return 0 <= slot < self._next_slot and bool(self._live[slot])
+
+    def scan(self, column_names: Sequence[str] | None = None) -> Iterator[tuple[int, dict]]:
+        """Iterate ``(slot, row)`` pairs over live rows.
+
+        Args:
+            column_names: Restrict the projected columns; all columns if None.
+        """
+        names = list(column_names) if column_names is not None else self.schema.column_names
+        for name in names:
+            self.schema.position_of(name)
+        for slot in self.live_slots():
+            yield int(slot), {name: self._columns[name][slot].item()
+                              if self.schema.column(name).dtype is not DataType.STRING
+                              else self._columns[name][slot]
+                              for name in names}
+
+    def project(self, column_names: Sequence[str]) -> tuple[np.ndarray, ...]:
+        """Project live rows onto ``column_names`` as aligned numpy arrays.
+
+        The first element of the returned tuple is always the slot array;
+        subsequent elements are the requested columns.  This is the bulk path
+        used by TRS-Tree construction ("ProjectTable" in Algorithm 1).
+        """
+        slots = self.live_slots()
+        arrays = [slots]
+        for name in column_names:
+            self.schema.position_of(name)
+            arrays.append(self._columns[name][slots])
+        return tuple(arrays)
+
+    # ------------------------------------------------------------- accounting
+
+    @property
+    def num_rows(self) -> int:
+        """Number of live rows."""
+        return self._live_count
+
+    @property
+    def num_slots(self) -> int:
+        """Number of allocated slots (live + dead)."""
+        return self._next_slot
+
+    def value_range(self, column_name: str) -> tuple[float, float]:
+        """The observed (min, max) of a column, from the optimizer statistics."""
+        return self.statistics[column_name].value_range
+
+    def memory_bytes(self) -> int:
+        """Analytic size of the base table in bytes."""
+        return self._size_model.table_bytes(
+            self._next_slot, self.schema.row_byte_width()
+        )
+
+    def memory_report(self) -> MemoryReport:
+        """Memory report with a single ``table`` component."""
+        report = MemoryReport()
+        report.add("table", self.memory_bytes())
+        return report
+
+    # ---------------------------------------------------------------- private
+
+    def _allocate_slot(self) -> int:
+        self._reserve(self._next_slot + 1)
+        slot = self._next_slot
+        self._next_slot += 1
+        return slot
+
+    def _reserve(self, capacity: int) -> None:
+        if capacity <= self._capacity:
+            return
+        new_capacity = self._capacity
+        while new_capacity < capacity:
+            new_capacity *= 2
+        for name, array in self._columns.items():
+            grown = np.zeros(new_capacity, dtype=array.dtype)
+            grown[: self._next_slot] = array[: self._next_slot]
+            self._columns[name] = grown
+        grown_live = np.zeros(new_capacity, dtype=bool)
+        grown_live[: self._next_slot] = self._live[: self._next_slot]
+        self._live = grown_live
+        self._capacity = new_capacity
+
+    def _check_live(self, location: RowLocation | int) -> int:
+        slot = int(location)
+        if not (0 <= slot < self._next_slot) or not self._live[slot]:
+            raise TupleNotFoundError(f"slot {slot} does not hold a live row")
+        return slot
+
+    @staticmethod
+    def _null_value(dtype: DataType):
+        if dtype is DataType.FLOAT64:
+            return np.nan
+        if dtype is DataType.INT64:
+            return 0
+        return None

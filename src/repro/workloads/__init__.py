@@ -1,0 +1,51 @@
+"""Workload generators: the Synthetic, Stock and Sensor applications + queries."""
+
+from repro.workloads.queries import (
+    RangeQuery,
+    mixed_queries,
+    point_queries,
+    range_queries,
+)
+from repro.workloads.sensor import (
+    NUM_SENSORS,
+    SensorDataset,
+    generate_sensor,
+    load_sensor,
+    sensor_column,
+)
+from repro.workloads.stock import (
+    StockDataset,
+    dow_sp_series,
+    generate_stock,
+    high_column,
+    load_stock,
+    low_column,
+)
+from repro.workloads.synthetic import (
+    SyntheticDataset,
+    correlation_for,
+    generate_synthetic,
+    load_synthetic,
+)
+
+__all__ = [
+    "NUM_SENSORS",
+    "RangeQuery",
+    "SensorDataset",
+    "StockDataset",
+    "SyntheticDataset",
+    "correlation_for",
+    "dow_sp_series",
+    "generate_sensor",
+    "generate_stock",
+    "generate_synthetic",
+    "high_column",
+    "load_sensor",
+    "load_stock",
+    "load_synthetic",
+    "low_column",
+    "mixed_queries",
+    "point_queries",
+    "range_queries",
+    "sensor_column",
+]

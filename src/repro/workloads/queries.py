@@ -1,0 +1,65 @@
+"""Query workload generators.
+
+All throughput experiments in the paper issue either range queries at a fixed
+*selectivity* (the fraction of the key domain covered by the predicate) or
+point queries on existing values.  These helpers generate such workloads
+deterministically from a seed so every benchmark run replays the same queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """One range predicate ``low <= column <= high``."""
+
+    low: float
+    high: float
+
+
+def range_queries(domain: tuple[float, float], selectivity: float, count: int,
+                  seed: int = 0) -> list[RangeQuery]:
+    """Generate range queries covering ``selectivity`` of ``domain``.
+
+    Args:
+        domain: (min, max) of the queried column.
+        selectivity: Fraction of the domain width each query covers, e.g.
+            ``0.01`` for 1%.
+        count: Number of queries.
+        seed: RNG seed.
+    """
+    low, high = domain
+    width = (high - low) * selectivity
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform(low, high - width, size=count) if high - width > low else (
+        np.full(count, low)
+    )
+    return [RangeQuery(float(start), float(start + width)) for start in starts]
+
+
+def point_queries(values: np.ndarray, count: int, seed: int = 0) -> list[float]:
+    """Sample ``count`` existing values to use as point-query keys."""
+    rng = np.random.default_rng(seed)
+    values = np.asarray(values)
+    if len(values) == 0:
+        return []
+    positions = rng.integers(0, len(values), size=count)
+    return [float(values[position]) for position in positions]
+
+
+def mixed_queries(domain: tuple[float, float], values: np.ndarray,
+                  selectivity: float, count: int, point_fraction: float = 0.5,
+                  seed: int = 0) -> list[RangeQuery]:
+    """A mix of point and range queries (used by the maintenance examples)."""
+    rng = np.random.default_rng(seed)
+    num_points = int(count * point_fraction)
+    points = point_queries(values, num_points, seed=seed + 1)
+    ranges = range_queries(domain, selectivity, count - num_points, seed=seed + 2)
+    mixed: list[RangeQuery] = [RangeQuery(value, value) for value in points]
+    mixed.extend(ranges)
+    rng.shuffle(mixed)
+    return mixed

@@ -1,0 +1,125 @@
+"""The Stock application (Appendix A).
+
+A wide table recording daily trading data of many stocks: a ``time`` column
+(primary key) plus, per stock, a daily *lowest* and *highest* price column.
+Each (lowest, highest) pair forms a near-linear correlation — the highest
+price sits a few percent above the lowest — except on rare shock days where a
+stock moves violently (the paper cites PG&E dropping more than 50% in a day);
+those tuples are exactly the outliers a TRS-Tree must buffer.
+
+The paper uses real market data we do not have offline; the generator below
+produces a geometric-random-walk price series per stock with heavy-tailed
+shock days, which preserves the two statistical properties the experiments
+rely on: a tight linear low↔high correlation and sparse large deviations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.catalog import IndexMethod
+from repro.engine.database import Database
+from repro.storage.schema import numeric_schema
+
+TABLE_NAME = "stock_history"
+
+
+def low_column(stock: int) -> str:
+    """Name of the lowest-price column of stock ``stock``."""
+    return f"low_{stock}"
+
+
+def high_column(stock: int) -> str:
+    """Name of the highest-price column of stock ``stock``."""
+    return f"high_{stock}"
+
+
+@dataclass
+class StockDataset:
+    """Generated column data for the Stock application."""
+
+    columns: dict[str, np.ndarray]
+    num_stocks: int
+    num_days: int
+
+    @property
+    def num_tuples(self) -> int:
+        """Number of rows (trading days)."""
+        return self.num_days
+
+
+def generate_stock(num_stocks: int = 100, num_days: int = 15_000,
+                   shock_probability: float = 0.005,
+                   seed: int = 42) -> StockDataset:
+    """Generate the Stock dataset.
+
+    Args:
+        num_stocks: Number of stocks (one low/high column pair each).
+        num_days: Number of trading days (rows).
+        shock_probability: Per-day probability of a shock (outlier) move.
+        seed: RNG seed.
+    """
+    rng = np.random.default_rng(seed)
+    columns: dict[str, np.ndarray] = {
+        "time": np.arange(num_days, dtype=np.float64)
+    }
+    for stock in range(num_stocks):
+        start_price = rng.uniform(20.0, 500.0)
+        daily_returns = rng.normal(0.0003, 0.02, size=num_days)
+        prices = start_price * np.exp(np.cumsum(daily_returns))
+        # The intraday spread is essentially a per-stock constant with a tiny
+        # daily wobble, so low and high trace a near-perfect line — exactly
+        # the "near-linear correlation" the paper exploits.  Shock days break
+        # that line violently and become TRS-Tree outliers.
+        base_spread = rng.uniform(0.008, 0.02)
+        spread = base_spread + rng.normal(0.0, 0.0001, size=num_days)
+        lows = prices * (1.0 - spread)
+        highs = prices * (1.0 + spread)
+        shocks = rng.random(num_days) < shock_probability
+        shock_magnitude = rng.uniform(0.3, 0.8, size=num_days)
+        shock_direction = rng.choice((-1.0, 1.0), size=num_days)
+        highs = np.where(
+            shocks, highs * (1.0 + shock_direction * shock_magnitude), highs
+        )
+        columns[low_column(stock)] = lows
+        columns[high_column(stock)] = highs
+    return StockDataset(columns=columns, num_stocks=num_stocks, num_days=num_days)
+
+
+def load_stock(database: Database, dataset: StockDataset) -> str:
+    """Create and populate the Stock table inside ``database``.
+
+    A primary index on ``time`` and a pre-existing secondary index on every
+    lowest-price column are created; the experiments then index the
+    highest-price columns with either Hermit or the baseline.
+
+    Returns:
+        The table name.
+    """
+    column_names = list(dataset.columns)
+    schema = numeric_schema(TABLE_NAME, column_names, primary_key="time")
+    database.create_table(schema)
+    database.insert_many(TABLE_NAME, dataset.columns)
+    for stock in range(dataset.num_stocks):
+        database.create_index(
+            f"idx_{low_column(stock)}", TABLE_NAME, low_column(stock),
+            method=IndexMethod.BTREE, preexisting=True,
+        )
+    return TABLE_NAME
+
+
+def dow_sp_series(num_points: int = 5000, seed: int = 11) -> tuple[np.ndarray, np.ndarray]:
+    """Generate correlated Dow-Jones / S&P-500 style index series (Figure 26).
+
+    The two series follow the same random walk at a roughly 8:1 level ratio,
+    with occasional decoupling periods that become Hermit outliers.
+    """
+    rng = np.random.default_rng(seed)
+    base = np.cumsum(rng.normal(0.1, 2.0, size=num_points)) + 400.0
+    sp500 = np.clip(base, 100.0, None)
+    dow = sp500 * 8.0 + rng.normal(0.0, 30.0, size=num_points)
+    decouple = rng.random(num_points) < 0.02
+    dow = np.where(decouple, dow * rng.uniform(0.85, 1.15, size=num_points), dow)
+    return sp500, dow

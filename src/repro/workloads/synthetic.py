@@ -1,0 +1,127 @@
+"""The Synthetic application (Appendix A).
+
+One table with four 8-byte numeric columns ``colA .. colD``:
+
+* ``colA`` — primary key (an index exists),
+* ``colB`` — derived from ``colC`` through a correlation function
+  (``colB = Fn(colC)``) with a configurable fraction of injected uniform
+  noise; a secondary index on it already exists,
+* ``colC`` — the column the application queries; the experiments build the
+  new (Hermit or baseline) index here,
+* ``colD`` — payload retrieved by the queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.correlation.functions import (
+    CorrelationFunction,
+    LinearFunction,
+    SigmoidFunction,
+    inject_noise,
+)
+from repro.engine.catalog import IndexMethod
+from repro.engine.database import Database
+from repro.storage.schema import numeric_schema
+
+TABLE_NAME = "synthetic"
+TARGET_DOMAIN = (0.0, 1_000_000.0)
+
+
+def correlation_for(name: str) -> CorrelationFunction:
+    """Return the correlation function the paper calls ``name``.
+
+    Args:
+        name: ``"linear"`` or ``"sigmoid"``.
+    """
+    if name == "linear":
+        return LinearFunction(slope=2.0, intercept=10.0)
+    if name == "sigmoid":
+        low, high = TARGET_DOMAIN
+        midpoint = (low + high) / 2.0
+        return SigmoidFunction(midpoint=midpoint, steepness=8.0 / (high - low),
+                               scale=high)
+    raise ValueError(f"unknown correlation {name!r}; use 'linear' or 'sigmoid'")
+
+
+@dataclass
+class SyntheticDataset:
+    """Generated column data for the Synthetic application.
+
+    Attributes:
+        columns: Column name → numpy array, ready for ``Database.insert_many``.
+        noise_mask: True for the tuples whose ``colB`` was replaced by noise.
+        correlation: Name of the correlation function used.
+    """
+
+    columns: dict[str, np.ndarray]
+    noise_mask: np.ndarray
+    correlation: str
+
+    @property
+    def num_tuples(self) -> int:
+        """Number of generated tuples."""
+        return len(self.columns["colA"])
+
+
+def generate_synthetic(num_tuples: int, correlation: str = "linear",
+                       noise_fraction: float = 0.01,
+                       seed: int = 42) -> SyntheticDataset:
+    """Generate the Synthetic dataset.
+
+    Args:
+        num_tuples: Number of rows.
+        correlation: ``"linear"`` or ``"sigmoid"``.
+        noise_fraction: Fraction of rows whose ``colB`` is perturbed with
+            uniform noise (the paper's default is 1%).
+        seed: RNG seed for reproducibility.
+    """
+    rng = np.random.default_rng(seed)
+    function = correlation_for(correlation)
+    low, high = TARGET_DOMAIN
+    col_a = np.arange(num_tuples, dtype=np.float64)
+    col_c = rng.uniform(low, high, size=num_tuples)
+    clean_b = function(col_c)
+    host_span = float(np.ptp(clean_b)) if num_tuples else 1.0
+    col_b, noise_mask = inject_noise(
+        clean_b, noise_fraction, noise_scale=0.3 * max(host_span, 1.0), rng=rng
+    )
+    col_d = rng.uniform(0.0, 1.0, size=num_tuples)
+    return SyntheticDataset(
+        columns={"colA": col_a, "colB": col_b, "colC": col_c, "colD": col_d},
+        noise_mask=noise_mask,
+        correlation=correlation,
+    )
+
+
+def load_synthetic(database: Database, dataset: SyntheticDataset,
+                   extra_correlated_columns: int = 0,
+                   seed: int = 7) -> str:
+    """Create and populate the Synthetic table inside ``database``.
+
+    A primary index on ``colA`` and a pre-existing secondary index on ``colB``
+    are created, matching the paper's starting state.  ``extra_correlated_columns``
+    adds columns ``colE0, colE1, ...`` that carry the same values as ``colB``
+    — the paper's Figure 20/22 setting of "additional columns ... all
+    correlated to colB", kept perfectly correlated so that insert workloads
+    can supply consistent values without knowing per-column coefficients.
+
+    Returns:
+        The table name.
+    """
+    del seed  # retained for signature stability
+    column_names = ["colA", "colB", "colC", "colD"]
+    extra_names = [f"colE{i}" for i in range(extra_correlated_columns)]
+    schema = numeric_schema(TABLE_NAME, column_names + extra_names, primary_key="colA")
+    database.create_table(schema)
+
+    columns = dict(dataset.columns)
+    for name in extra_names:
+        columns[name] = columns["colB"].copy()
+    database.insert_many(TABLE_NAME, columns)
+    database.create_index("idx_colB", TABLE_NAME, "colB",
+                          method=IndexMethod.BTREE, preexisting=True)
+    return TABLE_NAME

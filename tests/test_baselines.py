@@ -1,0 +1,169 @@
+"""Unit tests for the baseline secondary index and Correlation Maps."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.correlation_maps import CorrelationMap
+from repro.baselines.secondary import BaselineSecondaryIndex
+from repro.errors import ConfigurationError, QueryError
+from repro.index.bptree import BPlusTree
+from repro.storage.identifiers import PointerScheme
+from repro.storage.schema import numeric_schema
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def table():
+    rng = np.random.default_rng(0)
+    table = Table(numeric_schema("t", ["pk", "host", "target"], primary_key="pk"))
+    target = rng.uniform(0.0, 1000.0, size=1000)
+    noise = np.where(rng.random(1000) < 0.05,
+                     rng.uniform(300.0, 800.0, size=1000), 0.0)
+    table.insert_many({
+        "pk": np.arange(1000, dtype=np.float64),
+        "host": 2.0 * target + noise,
+        "target": target,
+    })
+    return table
+
+
+def primary_and_host(table, scheme):
+    primary = BPlusTree()
+    host = BPlusTree()
+    slots, pks, hosts = table.project(["pk", "host"])
+    primary.bulk_load((float(pk), int(s)) for pk, s in zip(pks, slots))
+    tids = slots if scheme is PointerScheme.PHYSICAL else pks
+    host.bulk_load((float(h), t.item()) for h, t in zip(hosts, tids))
+    return primary, host
+
+
+def brute_force(table, low, high):
+    slots, targets = table.project(["target"])
+    return set(int(s) for s in slots[(targets >= low) & (targets <= high)])
+
+
+class TestBaselineSecondaryIndex:
+    @pytest.mark.parametrize("scheme", [PointerScheme.PHYSICAL,
+                                        PointerScheme.LOGICAL])
+    def test_lookup_exact(self, table, scheme):
+        primary, _ = primary_and_host(table, scheme)
+        baseline = BaselineSecondaryIndex(table, "target", primary_index=primary,
+                                          pointer_scheme=scheme)
+        baseline.build()
+        assert set(baseline.lookup_range(100.0, 200.0).locations) == \
+            brute_force(table, 100.0, 200.0)
+
+    def test_baseline_has_no_false_positives(self, table):
+        primary, _ = primary_and_host(table, PointerScheme.PHYSICAL)
+        baseline = BaselineSecondaryIndex(table, "target", primary_index=primary)
+        baseline.build()
+        result = baseline.lookup_range(0.0, 500.0)
+        assert result.breakdown.false_positive_ratio == 0.0
+
+    def test_maintenance(self, table):
+        primary, _ = primary_and_host(table, PointerScheme.PHYSICAL)
+        baseline = BaselineSecondaryIndex(table, "target", primary_index=primary)
+        baseline.build()
+        row = {"pk": 5000.0, "host": 1.0, "target": 555.25}
+        location = int(table.insert(row))
+        baseline.insert(row, location)
+        assert location in baseline.lookup_point(555.25).locations
+        new_row = dict(row, target=111.0)
+        table.update(location, {"target": 111.0})
+        baseline.update(row, new_row, location)
+        assert location in baseline.lookup_point(111.0).locations
+        baseline.delete(new_row, location)
+        table.delete(location)
+        assert location not in baseline.lookup_point(111.0).locations
+
+    def test_memory_tracks_complete_index(self, table):
+        primary, _ = primary_and_host(table, PointerScheme.PHYSICAL)
+        baseline = BaselineSecondaryIndex(table, "target", primary_index=primary)
+        baseline.build()
+        assert baseline.memory_bytes() == baseline.index.memory_bytes()
+        assert baseline.index.num_entries == table.num_rows
+
+    def test_logical_scheme_requires_primary(self, table):
+        with pytest.raises(QueryError):
+            BaselineSecondaryIndex(table, "target",
+                                   pointer_scheme=PointerScheme.LOGICAL)
+
+    def test_point_lookup(self, table):
+        primary, _ = primary_and_host(table, PointerScheme.PHYSICAL)
+        baseline = BaselineSecondaryIndex(table, "target", primary_index=primary)
+        baseline.build()
+        value = float(table.value(3, "target"))
+        assert 3 in baseline.lookup_point(value).locations
+
+
+class TestCorrelationMap:
+    @pytest.mark.parametrize("scheme", [PointerScheme.PHYSICAL,
+                                        PointerScheme.LOGICAL])
+    def test_lookup_exact(self, table, scheme):
+        primary, host = primary_and_host(table, scheme)
+        cm = CorrelationMap(table, "target", "host", host,
+                            target_bucket_width=64.0, host_bucket_width=128.0,
+                            primary_index=primary, pointer_scheme=scheme)
+        cm.build()
+        assert set(cm.lookup_range(100.0, 300.0).locations) == \
+            brute_force(table, 100.0, 300.0)
+
+    def test_smaller_buckets_use_more_memory(self, table):
+        _, host = primary_and_host(table, PointerScheme.PHYSICAL)
+        fine = CorrelationMap(table, "target", "host", host,
+                              target_bucket_width=8.0, host_bucket_width=16.0)
+        fine.build()
+        coarse = CorrelationMap(table, "target", "host", host,
+                                target_bucket_width=256.0,
+                                host_bucket_width=512.0)
+        coarse.build()
+        assert fine.num_bucket_links > coarse.num_bucket_links
+        assert fine.memory_bytes() > coarse.memory_bytes()
+
+    def test_noise_inflates_cm_but_not_correctness(self, table):
+        _, host = primary_and_host(table, PointerScheme.PHYSICAL)
+        cm = CorrelationMap(table, "target", "host", host,
+                            target_bucket_width=32.0, host_bucket_width=64.0)
+        cm.build()
+        result = cm.lookup_range(400.0, 420.0)
+        assert set(result.locations) == brute_force(table, 400.0, 420.0)
+        # Noisy tuples drag extra host buckets in, so some false positives
+        # are expected — but never false negatives (checked above).
+        assert result.breakdown.candidates >= result.breakdown.results
+
+    def test_insert_extends_mapping(self, table):
+        _, host_index = primary_and_host(table, PointerScheme.PHYSICAL)
+        cm = CorrelationMap(table, "target", "host", host_index,
+                            target_bucket_width=64.0, host_bucket_width=128.0)
+        cm.build()
+        row = {"pk": 5001.0, "host": 123456.0, "target": 999.5}
+        location = int(table.insert(row))
+        host_index.insert(row["host"], location)
+        cm.insert(row, location)
+        assert location in cm.lookup_range(999.0, 1000.0).locations
+
+    def test_delete_keeps_results_correct(self, table):
+        _, host_index = primary_and_host(table, PointerScheme.PHYSICAL)
+        cm = CorrelationMap(table, "target", "host", host_index,
+                            target_bucket_width=64.0, host_bucket_width=128.0)
+        cm.build()
+        victim = 11
+        row = table.fetch(victim)
+        cm.delete(row, victim)
+        host_index.delete(row["host"], victim)
+        table.delete(victim)
+        assert victim not in cm.lookup_range(
+            row["target"] - 1, row["target"] + 1).locations
+
+    def test_invalid_bucket_widths(self, table):
+        _, host_index = primary_and_host(table, PointerScheme.PHYSICAL)
+        with pytest.raises(ConfigurationError):
+            CorrelationMap(table, "target", "host", host_index,
+                           target_bucket_width=0.0, host_bucket_width=1.0)
+
+    def test_logical_scheme_requires_primary(self, table):
+        _, host_index = primary_and_host(table, PointerScheme.PHYSICAL)
+        with pytest.raises(QueryError):
+            CorrelationMap(table, "target", "host", host_index,
+                           target_bucket_width=1.0, host_bucket_width=1.0,
+                           pointer_scheme=PointerScheme.LOGICAL)

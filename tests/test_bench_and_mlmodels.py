@@ -1,0 +1,176 @@
+"""Unit tests for the benchmark harness and the Table 1 regression models."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    FigureData,
+    construction_time,
+    insertion_throughput,
+    run_point_batch,
+    run_query_batch,
+)
+from repro.bench.report import format_figure, format_memory_report, format_table
+from repro.bench.timing import SimulatedClock, ThroughputResult, scaled, stopwatch
+from repro.engine.catalog import IndexMethod
+from repro.engine.database import Database
+from repro.mlmodels.kernel import KernelRegressionModel
+from repro.mlmodels.linear import LinearRegressionModel
+from repro.storage.disk import DiskManager, IOCostModel
+from repro.storage.memory import MemoryReport
+from repro.workloads.queries import range_queries
+from repro.workloads.synthetic import generate_synthetic, load_synthetic
+
+
+class TestTiming:
+    def test_throughput_result(self):
+        result = ThroughputResult(operations=1000, seconds=0.5)
+        assert result.ops_per_second == 2000.0
+        assert result.kops == 2.0
+        assert ThroughputResult(10, 0.0).ops_per_second == 0.0
+
+    def test_stopwatch_measures_elapsed(self):
+        with stopwatch() as elapsed:
+            sum(range(10_000))
+        assert elapsed[0] > 0.0
+
+    def test_scaled_respects_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scaled(100) == 100
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert scaled(100) == 250
+        monkeypatch.setenv("REPRO_SCALE", "garbage")
+        assert scaled(100) == 100
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        assert scaled(100) == 100
+
+    def test_simulated_clock_adds_io_latency(self):
+        disk = DiskManager(cost_model=IOCostModel(read_latency_us=1000.0))
+        page = disk.allocate_page(capacity=1)
+        clock = SimulatedClock(disk)
+        clock.start()
+        disk.read_page(page.page_id)
+        clock.stop()
+        assert clock.io_seconds == pytest.approx(1e-3)
+        assert clock.total_seconds > clock.cpu_seconds
+
+
+@pytest.fixture
+def hermit_setup():
+    dataset = generate_synthetic(2000, "linear", noise_fraction=0.01, seed=8)
+    database = Database()
+    table_name = load_synthetic(database, dataset)
+    entry = database.create_index("idx_c", table_name, "colC",
+                                  method=IndexMethod.HERMIT, host_column="colB")
+    return database, table_name, entry.mechanism, dataset
+
+
+class TestHarness:
+    def test_run_query_batch_counts_everything(self, hermit_setup):
+        _, _, hermit, dataset = hermit_setup
+        domain = (float(dataset.columns["colC"].min()),
+                  float(dataset.columns["colC"].max()))
+        queries = range_queries(domain, selectivity=0.05, count=10, seed=1)
+        batch = run_query_batch(hermit, queries)
+        assert batch.throughput.operations == 10
+        assert batch.throughput.seconds > 0
+        assert batch.breakdown.lookups == 10
+        assert batch.total_results > 0
+        assert 0.0 <= batch.false_positive_ratio <= 1.0
+
+    def test_run_point_batch(self, hermit_setup):
+        _, _, hermit, dataset = hermit_setup
+        values = [float(v) for v in dataset.columns["colC"][:5]]
+        batch = run_point_batch(hermit, values)
+        assert batch.throughput.operations == 5
+        assert batch.total_results >= 5
+
+    def test_insertion_throughput(self, hermit_setup):
+        database, table_name, _, _ = hermit_setup
+        rows = [{"colA": 1e7 + i, "colB": 2.0 * i + 10.0, "colC": float(i),
+                 "colD": 0.0} for i in range(50)]
+        result = insertion_throughput(database, table_name, rows)
+        assert result.operations == 50
+        assert result.ops_per_second > 0
+
+    def test_construction_time(self):
+        assert construction_time(lambda: sum(range(1000)), repetitions=3) >= 0.0
+
+    def test_figure_data_series(self):
+        figure = FigureData("Fig X", "selectivity", "kops")
+        figure.add_point("HERMIT", 1.0, 10.0)
+        figure.add_point("HERMIT", 2.5, 12.0)
+        figure.add_point("Baseline", 1.0, 20.0)
+        figure.add_point("Baseline", 2.5, 18.0)
+        assert figure.series_for("HERMIT").as_rows() == [(1.0, 10.0), (2.5, 12.0)]
+        assert figure.ratio("HERMIT", "Baseline") == [0.5, pytest.approx(12 / 18)]
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], [10, 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "bbb" in lines[0]
+
+    def test_format_figure(self):
+        figure = FigureData("Figure 4a", "selectivity (%)", "kops")
+        figure.add_point("HERMIT", 1.0, 5.0)
+        figure.add_point("Baseline", 1.0, 6.0)
+        figure.notes.append("shape matches paper")
+        text = format_figure(figure)
+        assert "Figure 4a" in text
+        assert "HERMIT" in text and "Baseline" in text
+        assert "note:" in text
+
+    def test_format_empty_figure(self):
+        assert "(no data)" in format_figure(FigureData("F", "x", "y"))
+
+    def test_format_memory_report(self):
+        report = MemoryReport({"table": 1024 * 1024, "new_indexes": 512 * 1024})
+        text = format_memory_report(report, title="Figure 5b")
+        assert "Figure 5b" in text
+        assert "total" in text
+
+
+class TestMLModels:
+    def test_linear_model_fits_line(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 100, size=1000)
+        y = 4.0 * x - 3.0
+        model = LinearRegressionModel()
+        result = model.timed_fit(x, y)
+        assert result.mean_absolute_error < 1e-6
+        assert result.num_tuples == 1000
+        assert np.allclose(model.predict(np.array([0.0, 1.0])), [-3.0, 1.0])
+
+    def test_linear_model_requires_fit_before_predict(self):
+        with pytest.raises(RuntimeError):
+            LinearRegressionModel().predict(np.array([1.0]))
+
+    @pytest.mark.parametrize("kernel", ["rbf", "linear", "polynomial"])
+    def test_kernel_models_fit_reasonably(self, kernel):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-2, 2, size=300)
+        y = np.sin(x)
+        model = KernelRegressionModel(kernel=kernel, regularization=1e-3)
+        result = model.timed_fit(x, y)
+        assert result.seconds > 0
+        assert result.mean_absolute_error < 0.5
+
+    def test_kernel_training_is_much_slower_than_linear(self):
+        """The Table 1 effect: kernel training cost grows superlinearly."""
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 10, size=1200)
+        y = 2 * x + rng.normal(0, 0.1, size=1200)
+        linear_seconds = LinearRegressionModel().timed_fit(x, y).seconds
+        kernel_seconds = KernelRegressionModel("rbf").timed_fit(x, y).seconds
+        assert kernel_seconds > 10 * linear_seconds
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            KernelRegressionModel(kernel="laplacian")
+
+    def test_kernel_requires_fit_before_predict(self):
+        with pytest.raises(RuntimeError):
+            KernelRegressionModel().predict(np.array([1.0]))

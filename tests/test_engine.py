@@ -1,0 +1,224 @@
+"""Unit tests for the catalog, query model, executor and database facade."""
+
+import numpy as np
+import pytest
+
+from repro.engine.catalog import Catalog, IndexEntry, IndexMethod
+from repro.engine.database import Database
+from repro.engine.executor import choose_index, full_scan
+from repro.engine.query import QueryResult, RangePredicate, point_predicate
+from repro.errors import CatalogError, QueryError
+from repro.index.bptree import BPlusTree
+from repro.storage.identifiers import PointerScheme
+from repro.storage.schema import numeric_schema
+from repro.storage.table import Table
+from repro.workloads.synthetic import generate_synthetic, load_synthetic
+
+
+class TestQueryModel:
+    def test_range_predicate(self):
+        predicate = RangePredicate("x", 1.0, 5.0)
+        assert predicate.matches(3.0)
+        assert not predicate.matches(6.0)
+        assert not predicate.is_point
+        assert predicate.key_range.low == 1.0
+
+    def test_point_predicate(self):
+        predicate = point_predicate("x", 4.0)
+        assert predicate.is_point
+        assert predicate.matches(4.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(QueryError):
+            RangePredicate("x", 5.0, 1.0)
+
+    def test_query_result_len(self):
+        assert len(QueryResult(locations=[1, 2, 3])) == 3
+
+
+class TestCatalog:
+    def make_entry(self, name="idx", column="x", method=IndexMethod.BTREE,
+                   preexisting=False):
+        return IndexEntry(name=name, table_name="t", column=column, method=method,
+                          mechanism=object(), is_preexisting=preexisting)
+
+    def test_add_and_lookup_table(self):
+        catalog = Catalog()
+        table = Table(numeric_schema("t", ["pk"], primary_key="pk"))
+        catalog.add_table("t", table, BPlusTree())
+        assert catalog.table_entry("t").table is table
+        assert "t" in catalog
+        with pytest.raises(CatalogError):
+            catalog.add_table("t", table, BPlusTree())
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().table_entry("missing")
+
+    def test_index_registration(self):
+        catalog = Catalog()
+        table = Table(numeric_schema("t", ["pk", "x"], primary_key="pk"))
+        catalog.add_table("t", table, BPlusTree())
+        catalog.add_index(self.make_entry())
+        with pytest.raises(CatalogError):
+            catalog.add_index(self.make_entry())
+        assert len(catalog.indexes_on("t")) == 1
+        assert catalog.indexes_on_column("t", "x")[0].name == "idx"
+        assert catalog.indexed_columns("t") == ["x"]
+
+    def test_drop_index(self):
+        catalog = Catalog()
+        table = Table(numeric_schema("t", ["pk", "x"], primary_key="pk"))
+        catalog.add_table("t", table, BPlusTree())
+        catalog.add_index(self.make_entry())
+        dropped = catalog.drop_index("t", "idx")
+        assert dropped.name == "idx"
+        with pytest.raises(CatalogError):
+            catalog.drop_index("t", "idx")
+
+    def test_indexed_columns_filters_methods(self):
+        catalog = Catalog()
+        table = Table(numeric_schema("t", ["pk", "x", "y"], primary_key="pk"))
+        catalog.add_table("t", table, BPlusTree())
+        catalog.add_index(self.make_entry("i1", "x", IndexMethod.BTREE))
+        catalog.add_index(self.make_entry("i2", "y", IndexMethod.HERMIT))
+        assert catalog.indexed_columns("t") == ["x"]
+
+
+class TestExecutorHelpers:
+    def test_full_scan(self):
+        table = Table(numeric_schema("t", ["pk", "x"], primary_key="pk"))
+        table.insert_many({"pk": np.arange(10.0), "x": np.arange(10.0) * 10})
+        result = full_scan(table, RangePredicate("x", 20.0, 50.0))
+        assert result.locations == [2, 3, 4, 5]
+        assert result.used_index is None
+
+    def test_choose_index_prefers_complete_index(self):
+        btree = IndexEntry("b", "t", "x", IndexMethod.BTREE, object())
+        hermit = IndexEntry("h", "t", "x", IndexMethod.HERMIT, object())
+        cm = IndexEntry("c", "t", "x", IndexMethod.CORRELATION_MAP, object())
+        assert choose_index([hermit, btree, cm]) is btree
+        assert choose_index([cm, hermit]) is hermit
+        assert choose_index([]) is None
+
+
+class TestDatabase:
+    @pytest.fixture
+    def loaded(self):
+        dataset = generate_synthetic(2000, "linear", noise_fraction=0.01, seed=5)
+        database = Database()
+        table_name = load_synthetic(database, dataset)
+        return database, table_name, dataset
+
+    def test_auto_index_selects_hermit_for_correlated_column(self, loaded):
+        database, table_name, _ = loaded
+        entry = database.create_index("idx_c", table_name, "colC",
+                                      method=IndexMethod.AUTO)
+        assert entry.method is IndexMethod.HERMIT
+        assert entry.host_column == "colB"
+
+    def test_auto_index_falls_back_to_btree(self, loaded):
+        database, table_name, _ = loaded
+        entry = database.create_index("idx_d", table_name, "colD",
+                                      method=IndexMethod.AUTO)
+        assert entry.method is IndexMethod.BTREE
+
+    def test_query_uses_index_and_matches_full_scan(self, loaded):
+        database, table_name, _ = loaded
+        database.create_index("idx_c", table_name, "colC",
+                              method=IndexMethod.HERMIT, host_column="colB")
+        predicate = RangePredicate("colC", 100_000.0, 200_000.0)
+        indexed = database.query(table_name, predicate)
+        scanned = full_scan(database.table(table_name), predicate)
+        assert indexed.locations == scanned.locations
+        assert indexed.used_index == "idx_c"
+
+    def test_query_without_index_falls_back_to_scan(self, loaded):
+        database, table_name, _ = loaded
+        result = database.query(table_name, RangePredicate("colD", 0.0, 0.5))
+        assert result.used_index is None
+        assert len(result.locations) > 0
+
+    def test_query_with_named_index(self, loaded):
+        database, table_name, _ = loaded
+        database.create_index("idx_c", table_name, "colC",
+                              method=IndexMethod.HERMIT, host_column="colB")
+        predicate = RangePredicate("colC", 0.0, 50_000.0)
+        result = database.query_with(table_name, "idx_c", predicate)
+        assert result.used_index == "idx_c"
+        with pytest.raises(CatalogError):
+            database.query_with(table_name, "nope", predicate)
+        with pytest.raises(QueryError):
+            database.query_with(table_name, "idx_c",
+                                RangePredicate("colD", 0.0, 1.0))
+
+    def test_hermit_requires_existing_host_index(self):
+        dataset = generate_synthetic(500, "linear", seed=6)
+        database = Database()
+        schema_name = load_synthetic(database, dataset)
+        database.drop_index(schema_name, "idx_colB")
+        with pytest.raises(CatalogError):
+            database.create_index("idx_c", schema_name, "colC",
+                                  method=IndexMethod.HERMIT, host_column="colB")
+
+    def test_correlation_map_index(self, loaded):
+        database, table_name, _ = loaded
+        entry = database.create_index(
+            "idx_cm", table_name, "colC", method=IndexMethod.CORRELATION_MAP,
+            host_column="colB", cm_target_bucket_width=4096.0,
+            cm_host_bucket_width=8192.0,
+        )
+        assert entry.method is IndexMethod.CORRELATION_MAP
+        predicate = RangePredicate("colC", 0.0, 100_000.0)
+        indexed = database.query_with(table_name, "idx_cm", predicate)
+        scanned = full_scan(database.table(table_name), predicate)
+        assert indexed.locations == scanned.locations
+
+    def test_correlation_map_requires_parameters(self, loaded):
+        database, table_name, _ = loaded
+        with pytest.raises(QueryError):
+            database.create_index("idx_cm", table_name, "colC",
+                                  method=IndexMethod.CORRELATION_MAP,
+                                  host_column="colB")
+
+    def test_dml_maintains_all_indexes(self, loaded):
+        database, table_name, _ = loaded
+        database.create_index("idx_c", table_name, "colC",
+                              method=IndexMethod.HERMIT, host_column="colB")
+        location = database.insert(table_name, {
+            "colA": 10_000_000.0, "colB": 555.0, "colC": 123_456.0, "colD": 0.5,
+        })
+        predicate = RangePredicate("colC", 123_455.0, 123_457.0)
+        assert location in database.query(table_name, predicate).locations
+
+        database.update(table_name, location, {"colC": 654_321.0})
+        assert location not in database.query(table_name, predicate).locations
+        assert location in database.query(
+            table_name, RangePredicate("colC", 654_320.0, 654_322.0)).locations
+
+        database.delete(table_name, location)
+        assert location not in database.query(
+            table_name, RangePredicate("colC", 654_320.0, 654_322.0)).locations
+
+    def test_memory_report_labels(self, loaded):
+        database, table_name, _ = loaded
+        database.create_index("idx_c", table_name, "colC",
+                              method=IndexMethod.HERMIT, host_column="colB")
+        report = database.memory_report(table_name)
+        assert {"table", "primary_index", "existing_indexes",
+                "new_indexes"} <= set(report.components)
+        # The Hermit index must be far smaller than the pre-existing B+-tree.
+        assert report.components["new_indexes"] < report.components[
+            "existing_indexes"] / 2
+
+    def test_logical_pointer_database(self):
+        dataset = generate_synthetic(1000, "linear", seed=9)
+        database = Database(pointer_scheme=PointerScheme.LOGICAL)
+        table_name = load_synthetic(database, dataset)
+        database.create_index("idx_c", table_name, "colC",
+                              method=IndexMethod.HERMIT, host_column="colB")
+        predicate = RangePredicate("colC", 0.0, 100_000.0)
+        indexed = database.query(table_name, predicate)
+        scanned = full_scan(database.table(table_name), predicate)
+        assert indexed.locations == scanned.locations
+        assert indexed.breakdown.primary_index_seconds > 0

@@ -1,0 +1,214 @@
+"""Unit tests for the Hermit index mechanism (4-step lookup + maintenance)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TRSTreeConfig
+from repro.core.hermit import HermitIndex, LookupBreakdown
+from repro.errors import QueryError
+from repro.index.bptree import BPlusTree
+from repro.storage.identifiers import PointerScheme
+from repro.storage.schema import numeric_schema
+from repro.storage.table import Table
+
+
+def make_table(count=2000, seed=0, noise_fraction=0.02):
+    """Table with pk / host / target / payload where host ~ 2*target + 5."""
+    rng = np.random.default_rng(seed)
+    schema = numeric_schema("t", ["pk", "host", "target", "payload"],
+                            primary_key="pk")
+    table = Table(schema)
+    target = rng.uniform(0.0, 1000.0, size=count)
+    host = 2.0 * target + 5.0
+    noisy = rng.random(count) < noise_fraction
+    host = np.where(noisy, host + rng.uniform(500.0, 1500.0, size=count), host)
+    table.insert_many({
+        "pk": np.arange(count, dtype=np.float64),
+        "host": host,
+        "target": target,
+        "payload": rng.uniform(size=count),
+    })
+    return table
+
+
+def build_hermit(table, pointer_scheme=PointerScheme.PHYSICAL,
+                 config=TRSTreeConfig()):
+    """Construct host and primary indexes plus a Hermit index on ``target``."""
+    primary = BPlusTree()
+    host_index = BPlusTree()
+    slots, pks, hosts = table.project(["pk", "host"])
+    primary.bulk_load((float(pk), int(slot)) for pk, slot in zip(pks, slots))
+    if pointer_scheme is PointerScheme.PHYSICAL:
+        host_index.bulk_load((float(h), int(s)) for h, s in zip(hosts, slots))
+    else:
+        host_index.bulk_load((float(h), float(pk)) for h, pk in zip(hosts, pks))
+    hermit = HermitIndex(table, "target", "host", host_index,
+                         primary_index=primary, pointer_scheme=pointer_scheme,
+                         config=config)
+    hermit.build()
+    return hermit
+
+
+def brute_force(table, low, high):
+    slots, targets = table.project(["target"])
+    mask = (targets >= low) & (targets <= high)
+    return set(int(s) for s in slots[mask])
+
+
+class TestLookup:
+    @pytest.mark.parametrize("scheme", [PointerScheme.PHYSICAL,
+                                        PointerScheme.LOGICAL])
+    def test_range_lookup_is_exact(self, scheme):
+        table = make_table()
+        hermit = build_hermit(table, pointer_scheme=scheme)
+        result = hermit.lookup_range(200.0, 400.0)
+        assert set(result.locations) == brute_force(table, 200.0, 400.0)
+
+    def test_point_lookup_is_exact(self):
+        table = make_table()
+        hermit = build_hermit(table)
+        value = float(table.value(5, "target"))
+        result = hermit.lookup_point(value)
+        assert 5 in result.locations
+        assert set(result.locations) == brute_force(table, value, value)
+
+    def test_breakdown_phases_populated(self):
+        table = make_table()
+        hermit = build_hermit(table, pointer_scheme=PointerScheme.LOGICAL)
+        result = hermit.lookup_range(100.0, 300.0)
+        breakdown = result.breakdown
+        assert breakdown.lookups == 1
+        assert breakdown.trs_seconds >= 0
+        assert breakdown.host_index_seconds > 0
+        assert breakdown.primary_index_seconds > 0
+        assert breakdown.base_table_seconds > 0
+        assert breakdown.candidates >= breakdown.results
+        fractions = breakdown.fractions()
+        assert pytest.approx(sum(fractions.values()), abs=1e-9) == 1.0
+
+    def test_physical_scheme_skips_primary_index(self):
+        table = make_table()
+        hermit = build_hermit(table, pointer_scheme=PointerScheme.PHYSICAL)
+        result = hermit.lookup_range(100.0, 300.0)
+        assert result.breakdown.primary_index_seconds == 0.0
+
+    def test_cumulative_breakdown_accumulates(self):
+        table = make_table()
+        hermit = build_hermit(table)
+        hermit.lookup_range(0.0, 100.0)
+        hermit.lookup_range(100.0, 200.0)
+        assert hermit.cumulative.lookups == 2
+        hermit.reset_breakdown()
+        assert hermit.cumulative.lookups == 0
+
+    def test_false_positive_ratio_bounded(self):
+        table = make_table()
+        hermit = build_hermit(table)
+        result = hermit.lookup_range(0.0, 1000.0)
+        # A full-domain range query has almost no false positives.
+        assert result.breakdown.false_positive_ratio < 0.2
+
+    def test_empty_range(self):
+        table = make_table()
+        hermit = build_hermit(table)
+        result = hermit.lookup_range(5000.0, 6000.0)
+        assert result.locations == []
+
+    def test_logical_scheme_requires_primary_index(self):
+        table = make_table(count=50)
+        with pytest.raises(QueryError):
+            HermitIndex(table, "target", "host", BPlusTree(),
+                        pointer_scheme=PointerScheme.LOGICAL)
+
+
+class TestMaintenance:
+    def test_insert_then_lookup_finds_new_row(self):
+        table = make_table()
+        hermit = build_hermit(table)
+        host_index = hermit.host_index
+        row = {"pk": 99999.0, "host": 2.0 * 555.5 + 5.0, "target": 555.5,
+               "payload": 0.0}
+        location = int(table.insert(row))
+        host_index.insert(row["host"], location)
+        hermit.insert(row, location)
+        result = hermit.lookup_range(555.0, 556.0)
+        assert location in result.locations
+
+    def test_insert_outlier_then_lookup(self):
+        table = make_table()
+        hermit = build_hermit(table)
+        row = {"pk": 99998.0, "host": 1e9, "target": 777.7, "payload": 0.0}
+        location = int(table.insert(row))
+        hermit.host_index.insert(row["host"], location)
+        hermit.insert(row, location)
+        result = hermit.lookup_range(777.0, 778.0)
+        assert location in result.locations
+
+    def test_delete_removes_row_from_results(self):
+        table = make_table()
+        hermit = build_hermit(table)
+        victim = 17
+        row = table.fetch(victim)
+        hermit.delete(row, victim)
+        hermit.host_index.delete(row["host"], victim)
+        table.delete(victim)
+        result = hermit.lookup_range(row["target"] - 1.0, row["target"] + 1.0)
+        assert victim not in result.locations
+
+    def test_update_target_value(self):
+        table = make_table()
+        hermit = build_hermit(table)
+        location = 23
+        old_row = table.fetch(location)
+        new_target = 999.0
+        table.update(location, {"target": new_target})
+        new_row = table.fetch(location)
+        hermit.update(old_row, new_row, location)
+        assert location in hermit.lookup_range(998.0, 1000.0).locations
+        assert location not in hermit.lookup_range(
+            old_row["target"] - 0.5, old_row["target"] + 0.5).locations
+
+    def test_reorganize_after_bulk_inserts(self):
+        table = make_table(count=1500)
+        hermit = build_hermit(table)
+        rng = np.random.default_rng(5)
+        for i in range(600):
+            row = {"pk": 50_000.0 + i, "host": float(rng.uniform(0, 3000)),
+                   "target": float(rng.uniform(0, 1000)), "payload": 0.0}
+            location = int(table.insert(row))
+            hermit.host_index.insert(row["host"], location)
+            hermit.insert(row, location)
+        if hermit.pending_reorganizations:
+            assert hermit.reorganize() > 0
+        result = hermit.lookup_range(0.0, 1000.0)
+        assert set(result.locations) == brute_force(table, 0.0, 1000.0)
+
+
+class TestMemory:
+    def test_hermit_is_much_smaller_than_complete_index(self):
+        table = make_table(count=5000)
+        hermit = build_hermit(table)
+        complete = BPlusTree()
+        slots, targets = table.project(["target"])
+        complete.bulk_load((float(t), int(s)) for t, s in zip(targets, slots))
+        assert hermit.memory_bytes() < complete.memory_bytes() / 5
+
+
+class TestLookupBreakdown:
+    def test_merge(self):
+        first = LookupBreakdown(trs_seconds=1.0, candidates=10, results=8, lookups=1)
+        second = LookupBreakdown(host_index_seconds=2.0, candidates=5, results=5,
+                                 lookups=1)
+        first.merge(second)
+        assert first.total_seconds == pytest.approx(3.0)
+        assert first.candidates == 15
+        assert first.results == 13
+        assert first.lookups == 2
+        assert first.false_positive_ratio == pytest.approx(2 / 15)
+
+    def test_empty_breakdown_ratios(self):
+        empty = LookupBreakdown()
+        assert empty.false_positive_ratio == 0.0
+        assert empty.total_seconds == 0.0
+        assert set(empty.fractions()) == {"TRS-Tree", "Host Index",
+                                          "Primary Index", "Base Table"}

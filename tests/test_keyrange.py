@@ -1,0 +1,66 @@
+"""Unit tests for KeyRange, including the union used by TRS-Tree lookups."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.base import KeyRange
+
+
+class TestKeyRangeBasics:
+    def test_normalises_reversed_bounds(self):
+        reversed_range = KeyRange(10.0, 2.0)
+        assert reversed_range.low == 2.0
+        assert reversed_range.high == 10.0
+
+    def test_point_range(self):
+        point = KeyRange(5.0, 5.0)
+        assert point.is_point
+        assert point.width == 0.0
+        assert point.contains(5.0)
+        assert not point.contains(5.1)
+
+    def test_contains_is_inclusive(self):
+        r = KeyRange(1.0, 2.0)
+        assert r.contains(1.0) and r.contains(2.0)
+        assert not r.contains(0.999) and not r.contains(2.001)
+
+    def test_overlap_and_intersection(self):
+        a = KeyRange(0.0, 10.0)
+        b = KeyRange(5.0, 15.0)
+        c = KeyRange(11.0, 12.0)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+        assert a.intersect(b) == KeyRange(5.0, 10.0)
+        assert a.intersect(c) is None
+
+    def test_touching_ranges_overlap(self):
+        assert KeyRange(0.0, 1.0).overlaps(KeyRange(1.0, 2.0))
+
+
+class TestKeyRangeUnion:
+    def test_merges_overlapping(self):
+        merged = KeyRange.union([KeyRange(0, 5), KeyRange(3, 8), KeyRange(10, 12)])
+        assert merged == [KeyRange(0, 8), KeyRange(10, 12)]
+
+    def test_empty_union(self):
+        assert KeyRange.union([]) == []
+
+    def test_union_of_identical_ranges(self):
+        merged = KeyRange.union([KeyRange(1, 2)] * 5)
+        assert merged == [KeyRange(1, 2)]
+
+    @given(st.lists(
+        st.tuples(st.floats(-1e6, 1e6, allow_nan=False),
+                  st.floats(0, 1e5, allow_nan=False)),
+        max_size=30,
+    ))
+    def test_union_is_disjoint_and_covering(self, raw):
+        ranges = [KeyRange(low, low + width) for low, width in raw]
+        merged = KeyRange.union(ranges)
+        # Disjoint and sorted.
+        for first, second in zip(merged, merged[1:]):
+            assert first.high < second.low
+        # Every original endpoint is covered by some merged range.
+        for original in ranges:
+            assert any(m.contains(original.low) and m.contains(original.high)
+                       for m in merged)

@@ -1,0 +1,69 @@
+"""Unit tests for the analytic memory model."""
+
+import pytest
+
+from repro.storage.memory import BYTES_PER_MB, MemoryReport, SizeModel
+
+
+class TestSizeModel:
+    def test_btree_scales_with_entries(self):
+        model = SizeModel()
+        small = model.btree_bytes(1_000)
+        large = model.btree_bytes(100_000)
+        assert large > small
+        # Per-entry cost should be roughly key + pointer plus node overheads.
+        assert large / 100_000 >= model.key_bytes + model.pointer_bytes
+
+    def test_btree_empty_is_header_only(self):
+        model = SizeModel()
+        assert model.btree_bytes(0) == model.node_header_bytes
+
+    def test_hash_table_scales_with_entries(self):
+        model = SizeModel()
+        assert model.hash_table_bytes(10) < model.hash_table_bytes(1000)
+        assert model.hash_table_bytes(0) == model.node_header_bytes
+
+    def test_trs_leaf_much_smaller_than_btree_for_same_data(self):
+        model = SizeModel()
+        # One leaf modelling 1M tuples with 1% outliers vs a complete B+-tree.
+        leaf = model.trs_leaf_bytes(num_outliers=10_000)
+        btree = model.btree_bytes(1_000_000)
+        assert leaf < btree / 10
+
+    def test_table_bytes(self):
+        model = SizeModel()
+        assert model.table_bytes(100, 32) == model.node_header_bytes + 3200
+
+    def test_trs_internal_bytes_depends_on_fanout(self):
+        model = SizeModel()
+        assert model.trs_internal_bytes(16) > model.trs_internal_bytes(4)
+
+
+class TestMemoryReport:
+    def test_add_and_total(self):
+        report = MemoryReport()
+        report.add("table", 10 * BYTES_PER_MB)
+        report.add("index", 30 * BYTES_PER_MB)
+        report.add("index", 10 * BYTES_PER_MB)
+        assert report.total_mb == pytest.approx(50.0)
+        assert report.fraction("index") == pytest.approx(0.8)
+
+    def test_fraction_of_missing_label_is_zero(self):
+        report = MemoryReport()
+        report.add("table", 100)
+        assert report.fraction("other") == 0.0
+
+    def test_fraction_with_empty_report(self):
+        assert MemoryReport().fraction("x") == 0.0
+
+    def test_merged_combines_components(self):
+        first = MemoryReport({"a": 10})
+        second = MemoryReport({"a": 5, "b": 1})
+        merged = first.merged(second)
+        assert merged.components == {"a": 15, "b": 1}
+        # Originals untouched.
+        assert first.components == {"a": 10}
+
+    def test_repr_contains_total(self):
+        report = MemoryReport({"a": int(2 * BYTES_PER_MB)})
+        assert "total" in repr(report)

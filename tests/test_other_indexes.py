@@ -1,0 +1,151 @@
+"""Unit tests for the hash, composite and paged B+-tree indexes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KeyNotFoundError
+from repro.index.base import KeyRange
+from repro.index.composite import CompositeIndex
+from repro.index.hash_index import HashIndex
+from repro.index.paged_bptree import PagedBPlusTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import DiskManager
+
+
+class TestHashIndex:
+    def test_insert_search(self):
+        index = HashIndex()
+        index.insert(1.5, "a")
+        index.insert(1.5, "b")
+        assert sorted(index.search(1.5)) == ["a", "b"]
+        assert index.search(2.0) == []
+        assert index.num_entries == 2
+        assert index.num_keys == 1
+
+    def test_delete(self):
+        index = HashIndex()
+        index.insert(1.0, 10)
+        index.delete(1.0, 10)
+        assert index.search(1.0) == []
+        with pytest.raises(KeyNotFoundError):
+            index.delete(1.0, 10)
+        index.insert(2.0, 1)
+        with pytest.raises(KeyNotFoundError):
+            index.delete(2.0, 99)
+
+    def test_range_search_scans_buckets(self):
+        index = HashIndex()
+        for i in range(10):
+            index.insert(float(i), i)
+        assert sorted(index.range_search(KeyRange(2.0, 4.0))) == [2, 3, 4]
+
+    def test_memory_scales(self):
+        index = HashIndex()
+        empty = index.memory_bytes()
+        for i in range(100):
+            index.insert(float(i), i)
+        assert index.memory_bytes() > empty
+
+    def test_items(self):
+        index = HashIndex()
+        index.insert(1.0, "x")
+        assert list(index.items()) == [(1.0, "x")]
+
+
+class TestCompositeIndex:
+    def test_range_search_filters_both_keys(self):
+        index = CompositeIndex()
+        for a in range(10):
+            for b in range(10):
+                index.insert(float(a), float(b), a * 10 + b)
+        result = index.range_search(KeyRange(2, 3), KeyRange(5, 6))
+        assert sorted(result) == [25, 26, 35, 36]
+
+    def test_range_search_many(self):
+        index = CompositeIndex()
+        for a in range(5):
+            index.insert(float(a), float(a), a)
+        result = index.range_search_many(KeyRange(0, 4),
+                                         [KeyRange(0, 1), KeyRange(3, 3)])
+        assert sorted(result) == [0, 1, 3]
+
+    def test_delete(self):
+        index = CompositeIndex()
+        index.insert(1.0, 2.0, "x")
+        index.delete(1.0, 2.0, "x")
+        assert index.num_entries == 0
+        with pytest.raises(KeyNotFoundError):
+            index.delete(1.0, 2.0, "x")
+
+    def test_memory_scales(self):
+        index = CompositeIndex()
+        empty = index.memory_bytes()
+        for i in range(200):
+            index.insert(float(i), float(i), i)
+        assert index.memory_bytes() > empty
+
+
+class TestPagedBPlusTree:
+    @pytest.fixture
+    def tree(self):
+        return PagedBPlusTree(BufferPool(DiskManager(), capacity=256),
+                              node_capacity=8)
+
+    def test_insert_and_point_search(self, tree):
+        for i in range(300):
+            tree.insert(float(i), i)
+        assert tree.search(123.0) == [123]
+        assert tree.search(1e9) == []
+        assert tree.num_entries == 300
+        assert tree.height >= 2
+        assert tree.num_nodes > 1
+
+    def test_range_search_matches_reference(self, tree):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 500, size=400)
+        for i, key in enumerate(keys):
+            tree.insert(float(key), i)
+        expected = sorted(i for i, key in enumerate(keys) if 100 <= key <= 200)
+        assert sorted(tree.range_search(KeyRange(100.0, 200.0))) == expected
+
+    def test_delete(self, tree):
+        tree.insert(1.0, 10)
+        tree.insert(1.0, 11)
+        tree.delete(1.0, 10)
+        assert tree.search(1.0) == [11]
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(1.0, 99)
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(5.0, 1)
+
+    def test_duplicate_keys(self, tree):
+        for i in range(20):
+            tree.insert(7.0, i)
+        assert sorted(tree.search(7.0)) == list(range(20))
+
+    def test_items_sorted(self, tree):
+        rng = np.random.default_rng(2)
+        keys = rng.uniform(0, 100, size=200)
+        for i, key in enumerate(keys):
+            tree.insert(float(key), i)
+        listed = [key for key, _ in tree.items()]
+        assert listed == sorted(listed)
+        assert len(listed) == 200
+
+    def test_page_traffic_is_charged(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=4)
+        tree = PagedBPlusTree(pool, node_capacity=8)
+        for i in range(500):
+            tree.insert(float(i), i)
+        tree.range_search(KeyRange(0.0, 499.0))
+        # With only 4 frames, a tree of many nodes must have gone to disk.
+        assert disk.stats.page_reads > 0
+        assert tree.disk_bytes() == tree.num_nodes * disk.page_size
+
+    def test_survives_eviction_pressure(self):
+        pool = BufferPool(DiskManager(), capacity=3)
+        tree = PagedBPlusTree(pool, node_capacity=4)
+        for i in range(200):
+            tree.insert(float(i), i)
+        assert sorted(tree.range_search(KeyRange(0.0, 199.0))) == list(range(200))

@@ -1,0 +1,143 @@
+"""Unit tests for the leaf regression machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regression import (
+    LinearModel,
+    epsilon_for_error_bound,
+    fit_leaf_model,
+    fit_linear,
+    fit_linear_trimmed,
+)
+from repro.index.base import KeyRange
+
+
+class TestFitLinear:
+    def test_recovers_exact_line(self):
+        m = np.linspace(0, 100, 200)
+        n = 3.0 * m - 7.0
+        beta, alpha = fit_linear(m, n)
+        assert beta == pytest.approx(3.0)
+        assert alpha == pytest.approx(-7.0)
+
+    def test_negative_slope(self):
+        m = np.linspace(0, 10, 50)
+        beta, alpha = fit_linear(m, -2.0 * m + 5.0)
+        assert beta == pytest.approx(-2.0)
+        assert alpha == pytest.approx(5.0)
+
+    def test_degenerate_inputs(self):
+        assert fit_linear(np.array([]), np.array([])) == (0.0, 0.0)
+        assert fit_linear(np.array([3.0]), np.array([9.0])) == (0.0, 9.0)
+        beta, alpha = fit_linear(np.array([2.0, 2.0, 2.0]), np.array([1.0, 2.0, 3.0]))
+        assert beta == 0.0
+        assert alpha == pytest.approx(2.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(-100, 100), st.floats(-1000, 1000))
+    def test_recovers_arbitrary_lines(self, slope, intercept):
+        m = np.linspace(-50, 50, 101)
+        beta, alpha = fit_linear(m, slope * m + intercept)
+        assert beta == pytest.approx(slope, abs=1e-6)
+        assert alpha == pytest.approx(intercept, abs=1e-4)
+
+
+class TestTrimmedFit:
+    def test_ignores_gross_outliers(self):
+        rng = np.random.default_rng(0)
+        m = np.linspace(0, 1000, 500)
+        n = 2.0 * m + 10.0
+        corrupted = n.copy()
+        noisy_positions = rng.choice(500, size=25, replace=False)
+        corrupted[noisy_positions] += 1e6
+        plain_beta, plain_alpha = fit_linear(m, corrupted)
+        robust_beta, robust_alpha = fit_linear_trimmed(m, corrupted, 0.1)
+        assert abs(robust_beta - 2.0) < abs(plain_beta - 2.0)
+        assert robust_beta == pytest.approx(2.0, rel=1e-3)
+        assert robust_alpha == pytest.approx(10.0, abs=1.0)
+
+    def test_no_trim_on_tiny_inputs(self):
+        m = np.array([0.0, 1.0, 2.0])
+        n = np.array([0.0, 2.0, 4.0])
+        assert fit_linear_trimmed(m, n, 0.1) == fit_linear(m, n)
+
+    def test_zero_fraction_is_plain_ols(self):
+        m = np.linspace(0, 10, 100)
+        n = m * 5
+        assert fit_linear_trimmed(m, n, 0.0) == fit_linear(m, n)
+
+
+class TestEpsilon:
+    def test_formula(self):
+        # eps = |beta| * width * error_bound / (2 n)
+        eps = epsilon_for_error_bound(2.0, KeyRange(0.0, 1000.0), 100, 2.0)
+        assert eps == pytest.approx(2.0 * 1000.0 * 2.0 / 200.0)
+
+    def test_zero_cases(self):
+        assert epsilon_for_error_bound(2.0, KeyRange(0, 10), 0, 2.0) == 0.0
+        assert epsilon_for_error_bound(0.0, KeyRange(0, 10), 5, 2.0) == 0.0
+        assert epsilon_for_error_bound(2.0, KeyRange(0, 10), 5, 0.0) == 0.0
+
+    def test_negative_slope_uses_absolute_value(self):
+        assert epsilon_for_error_bound(-2.0, KeyRange(0, 10), 5, 1.0) > 0
+
+    def test_larger_error_bound_gives_larger_epsilon(self):
+        small = epsilon_for_error_bound(1.0, KeyRange(0, 100), 50, 1.0)
+        large = epsilon_for_error_bound(1.0, KeyRange(0, 100), 50, 100.0)
+        assert large > small
+
+
+class TestLinearModel:
+    def test_covers_and_predict(self):
+        model = LinearModel(beta=2.0, alpha=1.0, epsilon=0.5)
+        assert model.predict(3.0) == 7.0
+        assert model.covers(3.0, 7.4)
+        assert not model.covers(3.0, 7.6)
+
+    def test_covers_many_vectorised(self):
+        model = LinearModel(beta=1.0, alpha=0.0, epsilon=0.1)
+        m = np.array([1.0, 2.0, 3.0])
+        n = np.array([1.05, 2.5, 3.0])
+        assert list(model.covers_many(m, n)) == [True, False, True]
+
+    def test_host_range_positive_slope(self):
+        model = LinearModel(beta=2.0, alpha=0.0, epsilon=1.0)
+        host = model.host_range(KeyRange(1.0, 3.0))
+        assert host == KeyRange(1.0, 7.0)
+
+    def test_host_range_negative_slope(self):
+        model = LinearModel(beta=-2.0, alpha=0.0, epsilon=1.0)
+        host = model.host_range(KeyRange(1.0, 3.0))
+        assert host == KeyRange(-7.0, -1.0)
+
+
+class TestFitLeafModel:
+    def test_epsilon_attached(self):
+        m = np.linspace(0, 100, 1000)
+        model = fit_leaf_model(m, 2 * m, KeyRange(0, 100), error_bound=2.0)
+        assert model.beta == pytest.approx(2.0)
+        assert model.epsilon == pytest.approx(2.0 * 100 * 2.0 / 2000.0)
+
+    def test_point_probe_false_positives_match_error_bound(self):
+        """The defining property of error_bound (Section 4.5).
+
+        With uniformly distributed host values, the expected number of host
+        values inside the range returned for a point probe should be close to
+        the configured error_bound.
+        """
+        rng = np.random.default_rng(3)
+        count = 20_000
+        m = rng.uniform(0, 1000, size=count)
+        n = 5.0 * m + 3.0
+        error_bound = 50.0
+        model = fit_leaf_model(m, n, KeyRange(0, 1000), error_bound)
+        probes = rng.uniform(100, 900, size=50)
+        covered_counts = []
+        for probe in probes:
+            host = model.host_range(KeyRange(probe, probe))
+            covered_counts.append(int(((n >= host.low) & (n <= host.high)).sum()))
+        average = float(np.mean(covered_counts))
+        assert average == pytest.approx(error_bound, rel=0.3)

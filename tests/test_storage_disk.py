@@ -1,0 +1,167 @@
+"""Unit tests for pages, the simulated disk, the buffer pool and the heap file."""
+
+import pytest
+
+from repro.errors import BufferPoolError, PageError, StorageError, TupleNotFoundError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import DiskManager, IOCostModel
+from repro.storage.heap_file import HeapFile
+from repro.storage.identifiers import decode_page_slot, encode_page_slot
+from repro.storage.pages import SlottedPage, slots_per_page
+from repro.storage.schema import numeric_schema
+
+
+class TestSlottedPage:
+    def test_insert_read_roundtrip(self):
+        page = SlottedPage(page_id=0, capacity=4)
+        slot = page.insert((1.0, 2.0))
+        assert page.read(slot) == (1.0, 2.0)
+        assert page.num_live == 1
+
+    def test_full_page_rejects_insert(self):
+        page = SlottedPage(page_id=0, capacity=2)
+        page.insert((1,))
+        page.insert((2,))
+        assert page.is_full
+        with pytest.raises(PageError):
+            page.insert((3,))
+
+    def test_delete_frees_slot_for_reuse(self):
+        page = SlottedPage(page_id=0, capacity=2)
+        slot = page.insert((1,))
+        page.delete(slot)
+        assert page.num_live == 0
+        assert page.insert((2,)) == slot
+
+    def test_read_empty_slot_raises(self):
+        page = SlottedPage(page_id=0, capacity=2)
+        with pytest.raises(PageError):
+            page.read(0)
+
+    def test_update_overwrites(self):
+        page = SlottedPage(page_id=0, capacity=2)
+        slot = page.insert((1,))
+        page.update(slot, (9,))
+        assert page.read(slot) == (9,)
+
+    def test_slots_per_page_positive(self):
+        assert slots_per_page(row_byte_width=24) > 100
+        with pytest.raises(PageError):
+            slots_per_page(row_byte_width=100_000)
+
+
+class TestPageSlotEncoding:
+    def test_roundtrip(self):
+        location = encode_page_slot(7, 13, slots_per_page=100)
+        assert decode_page_slot(location, slots_per_page=100) == (7, 13)
+
+
+class TestDiskManager:
+    def test_read_write_counters(self):
+        disk = DiskManager()
+        page = disk.allocate_page(capacity=4)
+        page.insert((1.0,))
+        disk.write_page(page)
+        fetched = disk.read_page(page.page_id)
+        assert fetched.read(0) == (1.0,)
+        assert disk.stats.page_reads == 1
+        assert disk.stats.page_writes == 1
+        assert disk.stats.pages_allocated == 1
+
+    def test_read_unallocated_raises(self):
+        with pytest.raises(StorageError):
+            DiskManager().read_page(42)
+
+    def test_simulated_time_uses_cost_model(self):
+        disk = DiskManager(cost_model=IOCostModel(read_latency_us=100.0,
+                                                  write_latency_us=50.0))
+        page = disk.allocate_page(capacity=1)
+        disk.write_page(page)
+        disk.read_page(page.page_id)
+        assert disk.simulated_io_seconds() == pytest.approx(150e-6)
+
+    def test_reads_return_copies(self):
+        disk = DiskManager()
+        page = disk.allocate_page(capacity=2)
+        page.insert((1.0,))
+        disk.write_page(page)
+        copy_one = disk.read_page(page.page_id)
+        copy_one.insert((2.0,))
+        copy_two = disk.read_page(page.page_id)
+        assert copy_two.num_live == 1
+
+
+class TestBufferPool:
+    def test_hit_and_miss_accounting(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=2)
+        page = pool.new_page(capacity=4)
+        pool.unpin_page(page.page_id, dirty=True)
+        pool.fetch_page(page.page_id)
+        pool.unpin_page(page.page_id)
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 0
+
+    def test_eviction_flushes_dirty_pages(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=1)
+        first = pool.new_page(capacity=4)
+        first.insert(("payload",))
+        pool.unpin_page(first.page_id, dirty=True)
+        second = pool.new_page(capacity=4)
+        pool.unpin_page(second.page_id, dirty=True)
+        assert pool.stats.evictions >= 1
+        pool.flush_all()
+        reread = disk.read_page(first.page_id)
+        assert reread.read(0) == ("payload",)
+
+    def test_all_pinned_raises(self):
+        pool = BufferPool(DiskManager(), capacity=1)
+        page = pool.new_page(capacity=4)  # pinned
+        assert page is not None
+        with pytest.raises(BufferPoolError):
+            pool.new_page(capacity=4)
+
+    def test_unpin_unknown_page_raises(self):
+        pool = BufferPool(DiskManager(), capacity=1)
+        with pytest.raises(BufferPoolError):
+            pool.unpin_page(123)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(BufferPoolError):
+            BufferPool(DiskManager(), capacity=0)
+
+
+class TestHeapFile:
+    @pytest.fixture
+    def heap(self):
+        schema = numeric_schema("h", ["pk", "x"], primary_key="pk")
+        return HeapFile(schema, BufferPool(DiskManager(), capacity=16))
+
+    def test_insert_fetch_roundtrip(self, heap):
+        location = heap.insert({"pk": 1.0, "x": 2.0})
+        assert heap.fetch(location) == {"pk": 1.0, "x": 2.0}
+        assert heap.value(location, "x") == 2.0
+        assert heap.num_rows == 1
+
+    def test_spans_multiple_pages(self, heap):
+        locations = heap.insert_many(
+            [{"pk": float(i), "x": float(i)} for i in range(1500)]
+        )
+        assert heap.num_pages >= 2
+        assert heap.fetch(locations[-1])["pk"] == 1499.0
+
+    def test_delete_reduces_count(self, heap):
+        location = heap.insert({"pk": 1.0, "x": 2.0})
+        heap.delete(location)
+        assert heap.num_rows == 0
+
+    def test_fetch_bad_location_raises(self, heap):
+        with pytest.raises(TupleNotFoundError):
+            heap.fetch(10**9)
+
+    def test_scan_yields_all_rows(self, heap):
+        heap.insert_many([{"pk": float(i), "x": float(i * 2)} for i in range(10)])
+        rows = dict(heap.scan())
+        assert len(rows) == 10
+        assert all(row["x"] == row["pk"] * 2 for row in rows.values())

@@ -1,0 +1,130 @@
+"""Unit tests for the in-memory columnar table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError, TupleNotFoundError
+from repro.storage.schema import numeric_schema
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table(numeric_schema("t", ["pk", "x", "y"], primary_key="pk"))
+
+
+class TestInsertFetch:
+    def test_insert_and_fetch_roundtrip(self, table):
+        location = table.insert({"pk": 1.0, "x": 2.0, "y": 3.0})
+        assert table.fetch(location) == {"pk": 1.0, "x": 2.0, "y": 3.0}
+        assert table.num_rows == 1
+
+    def test_insert_many_roundtrip(self, table):
+        locations = table.insert_many({
+            "pk": np.arange(10.0), "x": np.arange(10.0) * 2, "y": np.zeros(10),
+        })
+        assert len(locations) == 10
+        assert table.num_rows == 10
+        assert table.value(locations[3], "x") == 6.0
+
+    def test_insert_many_rejects_unequal_lengths(self, table):
+        with pytest.raises(StorageError):
+            table.insert_many({"pk": [1.0], "x": [1.0, 2.0], "y": [0.0]})
+
+    def test_insert_many_rejects_unknown_column(self, table):
+        with pytest.raises(StorageError):
+            table.insert_many({"pk": [1.0], "x": [1.0], "y": [1.0], "z": [1.0]})
+
+    def test_insert_many_empty_is_noop(self, table):
+        assert table.insert_many({}) == []
+        assert table.insert_many({"pk": [], "x": [], "y": []}) == []
+
+    def test_capacity_growth_preserves_data(self, table):
+        locations = [table.insert({"pk": float(i), "x": float(i), "y": 0.0})
+                     for i in range(500)]
+        assert table.num_rows == 500
+        assert table.value(locations[499], "pk") == 499.0
+        assert table.value(locations[0], "pk") == 0.0
+
+
+class TestDeleteUpdate:
+    def test_delete_marks_slot_dead(self, table):
+        location = table.insert({"pk": 1.0, "x": 2.0, "y": 3.0})
+        table.delete(location)
+        assert table.num_rows == 0
+        assert not table.is_live(location)
+        with pytest.raises(TupleNotFoundError):
+            table.fetch(location)
+
+    def test_double_delete_raises(self, table):
+        location = table.insert({"pk": 1.0, "x": 2.0, "y": 3.0})
+        table.delete(location)
+        with pytest.raises(TupleNotFoundError):
+            table.delete(location)
+
+    def test_update_changes_values(self, table):
+        location = table.insert({"pk": 1.0, "x": 2.0, "y": 3.0})
+        table.update(location, {"x": 20.0})
+        assert table.fetch(location)["x"] == 20.0
+
+    def test_update_unknown_column_raises(self, table):
+        location = table.insert({"pk": 1.0, "x": 2.0, "y": 3.0})
+        with pytest.raises(StorageError):
+            table.update(location, {"zzz": 1.0})
+
+    def test_is_live_out_of_range(self, table):
+        assert not table.is_live(99)
+
+
+class TestScans:
+    def test_live_slots_skip_deleted(self, table):
+        locations = table.insert_many({
+            "pk": np.arange(5.0), "x": np.arange(5.0), "y": np.arange(5.0),
+        })
+        table.delete(locations[2])
+        assert list(table.live_slots()) == [0, 1, 3, 4]
+
+    def test_column_array_restricted_to_live(self, table):
+        locations = table.insert_many({
+            "pk": np.arange(4.0), "x": np.array([10.0, 11.0, 12.0, 13.0]),
+            "y": np.zeros(4),
+        })
+        table.delete(locations[1])
+        assert list(table.column_array("x")) == [10.0, 12.0, 13.0]
+
+    def test_project_returns_aligned_arrays(self, table):
+        table.insert_many({"pk": np.arange(3.0), "x": np.arange(3.0) * 2,
+                           "y": np.arange(3.0) * 3})
+        slots, xs, ys = table.project(["x", "y"])
+        assert list(slots) == [0, 1, 2]
+        assert list(xs) == [0.0, 2.0, 4.0]
+        assert list(ys) == [0.0, 3.0, 6.0]
+
+    def test_scan_projects_requested_columns(self, table):
+        table.insert({"pk": 1.0, "x": 2.0, "y": 3.0})
+        rows = list(table.scan(["x"]))
+        assert rows == [(0, {"x": 2.0})]
+
+    def test_values_vectorised_fetch(self, table):
+        table.insert_many({"pk": np.arange(5.0), "x": np.arange(5.0) + 100,
+                           "y": np.zeros(5)})
+        values = table.values([1, 3], "x")
+        assert list(values) == [101.0, 103.0]
+
+
+class TestStatisticsAndMemory:
+    def test_value_range_tracks_min_max(self, table):
+        table.insert_many({"pk": np.arange(3.0), "x": np.array([5.0, -1.0, 7.0]),
+                           "y": np.zeros(3)})
+        assert table.value_range("x") == (-1.0, 7.0)
+
+    def test_memory_grows_with_rows(self, table):
+        before = table.memory_bytes()
+        table.insert_many({"pk": np.arange(100.0), "x": np.zeros(100),
+                           "y": np.zeros(100)})
+        assert table.memory_bytes() > before
+
+    def test_memory_report_has_table_component(self, table):
+        report = table.memory_report()
+        assert "table" in report.components
+        assert report.total_bytes == table.memory_bytes()

@@ -1,0 +1,308 @@
+"""Unit tests for TRS-Tree construction, lookup and maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TRSTreeConfig
+from repro.core.trs_tree import TRSTree
+from repro.errors import ConfigurationError, StorageError
+from repro.index.base import KeyRange
+
+
+def linear_data(count=2000, noise_positions=(), seed=0):
+    """Target/host/tid arrays with host = 2*target + 5, plus forced outliers."""
+    rng = np.random.default_rng(seed)
+    targets = rng.uniform(0.0, 1000.0, size=count)
+    hosts = 2.0 * targets + 5.0
+    for position in noise_positions:
+        hosts[position] += 5000.0
+    tids = np.arange(count)
+    return targets, hosts, tids
+
+
+def brute_force(targets, predicate: KeyRange):
+    return set(int(i) for i in np.flatnonzero(
+        (targets >= predicate.low) & (targets <= predicate.high)))
+
+
+def hermit_style_answer(tree: TRSTree, hosts, targets, predicate: KeyRange):
+    """Resolve a TRS-Tree lookup the way Hermit does, without the host index.
+
+    Candidates are the union of tuples whose host value falls in a returned
+    host range and the outlier tids; validation filters on the target value.
+    """
+    result = tree.lookup(predicate)
+    candidates = set(result.outlier_tids)
+    for host_range in result.host_ranges:
+        candidates.update(
+            int(i) for i in np.flatnonzero(
+                (hosts >= host_range.low) & (hosts <= host_range.high))
+        )
+    return {tid for tid in candidates
+            if predicate.contains(float(targets[int(tid)]))}
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = TRSTreeConfig()
+        assert config.node_fanout == 8
+        assert config.max_height == 10
+        assert config.outlier_ratio == 0.1
+        assert config.error_bound == 2.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"node_fanout": 1},
+        {"max_height": 0},
+        {"outlier_ratio": 1.5},
+        {"error_bound": -1.0},
+        {"sample_fraction": 0.0},
+        {"sample_fraction": 2.0},
+        {"min_split_size": 1},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TRSTreeConfig(**kwargs)
+
+
+class TestConstruction:
+    def test_perfect_linear_yields_single_leaf(self):
+        targets, hosts, tids = linear_data()
+        tree = TRSTree()
+        tree.build(targets, hosts, tids)
+        assert tree.num_leaves == 1
+        assert tree.height == 1
+        assert tree.num_outliers == 0
+
+    def test_sparse_noise_becomes_outliers_without_splitting(self):
+        targets, hosts, tids = linear_data(noise_positions=range(0, 40))
+        tree = TRSTree()
+        tree.build(targets, hosts, tids)
+        assert tree.num_leaves == 1
+        assert tree.num_outliers == 40
+
+    def test_nonlinear_correlation_splits(self):
+        rng = np.random.default_rng(1)
+        targets = rng.uniform(0.0, 1000.0, size=5000)
+        hosts = np.sqrt(targets) * 100.0
+        tree = TRSTree()
+        tree.build(targets, hosts, np.arange(5000))
+        assert tree.num_leaves > 1
+        assert tree.height > 1
+
+    def test_max_height_bounds_depth(self):
+        rng = np.random.default_rng(2)
+        targets = rng.uniform(0.0, 1000.0, size=3000)
+        hosts = np.sin(targets / 20.0) * 1000.0
+        config = TRSTreeConfig(max_height=3, node_fanout=4)
+        tree = TRSTree(config)
+        tree.build(targets, hosts, np.arange(3000))
+        assert tree.height <= 3
+
+    def test_empty_build(self):
+        tree = TRSTree()
+        tree.build([], [], [])
+        assert tree.num_leaves == 1
+        assert tree.lookup(KeyRange(0, 10)).host_ranges == [KeyRange(0.0, 0.0)]
+
+    def test_mismatched_lengths_rejected(self):
+        tree = TRSTree()
+        with pytest.raises(StorageError):
+            tree.build([1.0, 2.0], [1.0], [0, 1])
+
+    def test_parallel_build_matches_serial(self):
+        rng = np.random.default_rng(3)
+        targets = rng.uniform(0.0, 1000.0, size=4000)
+        hosts = np.sqrt(targets) * 50.0
+        serial = TRSTree()
+        serial.build(targets, hosts, np.arange(4000), parallelism=1)
+        parallel = TRSTree()
+        parallel.build(targets, hosts, np.arange(4000), parallelism=4)
+        assert serial.num_leaves == parallel.num_leaves
+        probe = KeyRange(200.0, 300.0)
+        assert hermit_style_answer(serial, hosts, targets, probe) == \
+            hermit_style_answer(parallel, hosts, targets, probe)
+
+    def test_sampling_optimisation_still_correct(self):
+        rng = np.random.default_rng(4)
+        targets = rng.uniform(0.0, 1000.0, size=5000)
+        hosts = np.sqrt(targets) * 100.0
+        config = TRSTreeConfig(sample_fraction=0.05)
+        tree = TRSTree(config)
+        tree.build(targets, hosts, np.arange(5000))
+        probe = KeyRange(100.0, 150.0)
+        assert hermit_style_answer(tree, hosts, targets, probe) == \
+            brute_force(targets, probe)
+
+
+class TestLookup:
+    def test_range_lookup_covers_all_matches(self):
+        targets, hosts, tids = linear_data(noise_positions=range(0, 30))
+        tree = TRSTree()
+        tree.build(targets, hosts, tids)
+        probe = KeyRange(250.0, 400.0)
+        assert hermit_style_answer(tree, hosts, targets, probe) == \
+            brute_force(targets, probe)
+
+    def test_point_lookup(self):
+        targets, hosts, tids = linear_data()
+        tree = TRSTree()
+        tree.build(targets, hosts, tids)
+        value = float(targets[10])
+        answer = hermit_style_answer(tree, hosts, targets, KeyRange(value, value))
+        assert 10 in answer
+
+    def test_lookup_outside_domain(self):
+        targets, hosts, tids = linear_data()
+        tree = TRSTree()
+        tree.build(targets, hosts, tids)
+        result = tree.lookup(KeyRange(5000.0, 6000.0))
+        # The edge leaf is treated as open-ended (it would hold any
+        # out-of-domain inserts), but no stored tuple matches.
+        assert result.outlier_tids == []
+        assert hermit_style_answer(tree, hosts, targets,
+                                   KeyRange(5000.0, 6000.0)) == set()
+
+    def test_host_ranges_are_disjoint(self):
+        rng = np.random.default_rng(5)
+        targets = rng.uniform(0.0, 1000.0, size=5000)
+        hosts = np.sqrt(targets) * 100.0
+        tree = TRSTree()
+        tree.build(targets, hosts, np.arange(5000))
+        result = tree.lookup(KeyRange(0.0, 1000.0))
+        for first, second in zip(result.host_ranges, result.host_ranges[1:]):
+            assert first.high < second.low
+
+    def test_empty_tree_lookup(self):
+        tree = TRSTree()
+        result = tree.lookup(KeyRange(0, 1))
+        assert result.host_ranges == []
+        assert result.outlier_tids == []
+
+
+class TestMaintenance:
+    def test_insert_covered_tuple_leaves_no_trace(self):
+        targets, hosts, tids = linear_data()
+        tree = TRSTree()
+        tree.build(targets, hosts, tids)
+        tree.insert(500.0, 2.0 * 500.0 + 5.0, 99999)
+        assert tree.num_outliers == 0
+
+    def test_insert_outlier_is_recoverable(self):
+        targets, hosts, tids = linear_data()
+        tree = TRSTree()
+        tree.build(targets, hosts, tids)
+        tree.insert(500.0, 99999.0, 77777)
+        result = tree.lookup(KeyRange(499.0, 501.0))
+        assert 77777 in result.outlier_tids
+
+    def test_delete_removes_outlier(self):
+        targets, hosts, tids = linear_data()
+        tree = TRSTree()
+        tree.build(targets, hosts, tids)
+        tree.insert(500.0, 99999.0, 77777)
+        tree.delete(500.0, 99999.0, 77777)
+        result = tree.lookup(KeyRange(499.0, 501.0))
+        assert 77777 not in result.outlier_tids
+
+    def test_update_moves_outlier(self):
+        targets, hosts, tids = linear_data()
+        tree = TRSTree()
+        tree.build(targets, hosts, tids)
+        tree.insert(500.0, 99999.0, 77777)
+        tree.update(500.0, 99999.0, 700.0, 88888.0, 77777)
+        assert 77777 not in tree.lookup(KeyRange(499.0, 501.0)).outlier_tids
+        assert 77777 in tree.lookup(KeyRange(699.0, 701.0)).outlier_tids
+
+    def test_maintenance_on_empty_tree_is_noop(self):
+        tree = TRSTree()
+        tree.insert(1.0, 1.0, 1)
+        tree.delete(1.0, 1.0, 1)
+
+    def test_heavy_inserts_flag_split_candidates(self):
+        targets, hosts, tids = linear_data(count=3000)
+        tree = TRSTree()
+        tree.build(targets, hosts, tids)
+        rng = np.random.default_rng(6)
+        for i in range(600):
+            tree.insert(float(rng.uniform(0, 1000)), float(rng.uniform(0, 1e6)),
+                        100000 + i)
+        assert tree.pending_reorganizations > 0
+
+
+class TestReorganization:
+    def build_with_provider(self):
+        targets, hosts, tids = linear_data(count=3000)
+        store = {
+            "targets": targets.copy(), "hosts": hosts.copy(), "tids": tids.copy(),
+        }
+        tree = TRSTree()
+        tree.build(store["targets"], store["hosts"], store["tids"])
+
+        def provider(key_range: KeyRange):
+            mask = (store["targets"] >= key_range.low) & (
+                store["targets"] <= key_range.high)
+            return (store["targets"][mask], store["hosts"][mask],
+                    store["tids"][mask])
+
+        return tree, store, provider
+
+    def test_reorganize_absorbs_new_outliers(self):
+        tree, store, provider = self.build_with_provider()
+        rng = np.random.default_rng(7)
+        new_targets = rng.uniform(0.0, 1000.0, size=800)
+        new_hosts = rng.uniform(0.0, 1e6, size=800)
+        # Tids double as positions into the concatenated arrays below so the
+        # brute-force oracle can validate them.
+        new_tids = np.arange(3000, 3800)
+        for m, n, tid in zip(new_targets, new_hosts, new_tids):
+            tree.insert(float(m), float(n), int(tid))
+        store["targets"] = np.concatenate([store["targets"], new_targets])
+        store["hosts"] = np.concatenate([store["hosts"], new_hosts])
+        store["tids"] = np.concatenate([store["tids"], new_tids])
+
+        assert tree.pending_reorganizations > 0
+        processed = tree.reorganize(provider)
+        assert processed > 0
+        assert tree.pending_reorganizations == 0
+        # After the rebuild the tree either split (more leaves) or re-fit; the
+        # query answers must still be exact and every stored outlier must be a
+        # live tuple.
+        probe = KeyRange(100.0, 300.0)
+        answer = hermit_style_answer(tree, store["hosts"], store["targets"], probe)
+        assert answer == brute_force(store["targets"], probe)
+        assert tree.num_leaves >= 1
+        assert tree.num_outliers <= len(store["targets"])
+
+    def test_reorganize_respects_max_candidates(self):
+        tree, store, provider = self.build_with_provider()
+        rng = np.random.default_rng(8)
+        for i in range(800):
+            tree.insert(float(rng.uniform(0, 1000)), float(rng.uniform(0, 1e6)),
+                        50_000 + i)
+        pending = tree.pending_reorganizations
+        if pending > 1:
+            processed = tree.reorganize(provider, max_candidates=1)
+            assert processed == 1
+
+    def test_reorganize_children_rebuilds_subtrees(self):
+        rng = np.random.default_rng(9)
+        targets = rng.uniform(0.0, 1000.0, size=4000)
+        hosts = np.sqrt(targets) * 100.0
+        tids = np.arange(4000)
+        tree = TRSTree()
+        tree.build(targets, hosts, tids)
+
+        def provider(key_range: KeyRange):
+            mask = (targets >= key_range.low) & (targets <= key_range.high)
+            return targets[mask], hosts[mask], tids[mask]
+
+        tree.reorganize_children(provider, [0, 1])
+        probe = KeyRange(0.0, 400.0)
+        assert hermit_style_answer(tree, hosts, targets, probe) == \
+            brute_force(targets, probe)
+
+    def test_memory_accounting_walks_all_nodes(self):
+        tree, _, _ = self.build_with_provider()
+        single_leaf_bytes = tree.memory_bytes()
+        assert single_leaf_bytes > 0
+        assert tree.num_nodes == tree.num_leaves
