@@ -1,0 +1,281 @@
+"""Hot-path microbenchmark: scalar seed path vs. vectorized lookup path.
+
+The vectorized Hermit/Baseline lookup pipeline (array host probes,
+``np.unique`` dedup, batched primary resolution, fancy-index validation) and
+the original object-at-a-time seed path (``lookup_range_scalar``) answer the
+same queries, so their throughput ratio isolates exactly the interpreter
+overhead the vectorization removed.  This module builds the three paper
+workloads (Stock, Sensor, Synthetic-Linear) as bare tables + mechanisms,
+measures all three paths (scalar per-query, vectorized per-query, vectorized
+batch) and checks that every path returns the identical result set.
+
+It lives in ``repro.bench`` rather than ``benchmarks/`` so that both the
+full-scale benchmark script (``benchmarks/bench_hotpath_vectorized.py``) and
+the tier-1 bench-smoke test can share one implementation — the smoke test is
+what keeps the vectorized path from silently regressing to the scalar
+fallback.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.secondary import BaselineSecondaryIndex
+from repro.core.config import TRSTreeConfig
+from repro.core.hermit import HermitIndex
+from repro.index.base import Index
+from repro.index.bptree import BPlusTree
+from repro.index.sorted_column import SortedColumnIndex
+from repro.storage.identifiers import PointerScheme
+from repro.storage.schema import numeric_schema
+from repro.storage.table import Table
+from repro.workloads.queries import RangeQuery, range_queries
+from repro.workloads.sensor import generate_sensor, sensor_column
+from repro.workloads.stock import generate_stock, high_column, low_column
+from repro.workloads.synthetic import generate_synthetic
+
+WORKLOADS = ("stock", "sensor", "synthetic")
+HOST_INDEX_KINDS = ("btree", "sorted")
+
+
+@dataclass
+class HotpathSetup:
+    """One built workload: base table plus both mechanisms."""
+
+    workload: str
+    table: Table
+    hermit: HermitIndex
+    baseline: BaselineSecondaryIndex
+    domain: tuple[float, float]
+    num_tuples: int
+
+    @property
+    def mechanisms(self) -> dict[str, object]:
+        """Label → mechanism, as the figure helpers expose them."""
+        return {"HERMIT": self.hermit, "Baseline": self.baseline}
+
+
+@dataclass
+class HotpathMeasurement:
+    """Scalar vs. vectorized throughput of one mechanism on one workload."""
+
+    workload: str
+    mechanism: str
+    pointer_scheme: str
+    host_index: str
+    num_tuples: int
+    selectivity: float
+    num_queries: int
+    total_results: int
+    scalar_seconds: float
+    vectorized_seconds: float
+    batched_seconds: float
+    results_agree: bool
+
+    @property
+    def scalar_kops(self) -> float:
+        """Scalar-path throughput in thousands of queries per second."""
+        return self._kops(self.scalar_seconds)
+
+    @property
+    def vectorized_kops(self) -> float:
+        """Vectorized per-query throughput in K queries per second."""
+        return self._kops(self.vectorized_seconds)
+
+    @property
+    def batched_kops(self) -> float:
+        """Batch-API throughput in K queries per second."""
+        return self._kops(self.batched_seconds)
+
+    @property
+    def speedup_vectorized(self) -> float:
+        """Per-query vectorized speedup over the scalar seed path."""
+        if self.vectorized_seconds <= 0:
+            return float("inf")
+        return self.scalar_seconds / self.vectorized_seconds
+
+    @property
+    def speedup_batched(self) -> float:
+        """Batch-API speedup over the scalar seed path."""
+        if self.batched_seconds <= 0:
+            return float("inf")
+        return self.scalar_seconds / self.batched_seconds
+
+    def _kops(self, seconds: float) -> float:
+        if seconds <= 0:
+            return 0.0
+        return self.num_queries / seconds / 1e3
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (used for the perf trajectory)."""
+        return {
+            "workload": self.workload,
+            "mechanism": self.mechanism,
+            "pointer_scheme": self.pointer_scheme,
+            "host_index": self.host_index,
+            "num_tuples": self.num_tuples,
+            "selectivity": self.selectivity,
+            "num_queries": self.num_queries,
+            "total_results": self.total_results,
+            "scalar_kops": self.scalar_kops,
+            "vectorized_kops": self.vectorized_kops,
+            "batched_kops": self.batched_kops,
+            "speedup_vectorized": self.speedup_vectorized,
+            "speedup_batched": self.speedup_batched,
+            "results_agree": self.results_agree,
+        }
+
+
+def _workload_columns(workload: str, num_tuples: int,
+                      seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """(target, host) column pair for one paper workload."""
+    if workload == "stock":
+        dataset = generate_stock(num_stocks=1, num_days=num_tuples, seed=seed)
+        return dataset.columns[high_column(0)], dataset.columns[low_column(0)]
+    if workload == "sensor":
+        dataset = generate_sensor(num_tuples=num_tuples, num_sensors=4,
+                                  seed=seed)
+        return dataset.columns[sensor_column(0)], dataset.columns["average"]
+    if workload == "synthetic":
+        dataset = generate_synthetic(num_tuples, "linear",
+                                     noise_fraction=0.01, seed=seed)
+        return dataset.columns["colC"], dataset.columns["colB"]
+    raise ValueError(f"unknown workload {workload!r}; use one of {WORKLOADS}")
+
+
+def build_hotpath_setup(workload: str, num_tuples: int,
+                        pointer_scheme: PointerScheme = PointerScheme.PHYSICAL,
+                        host_index_kind: str = "btree",
+                        trs_config: TRSTreeConfig | None = None,
+                        seed: int = 42) -> HotpathSetup:
+    """Build one workload table with Hermit and Baseline mechanisms.
+
+    Args:
+        workload: ``"stock"``, ``"sensor"`` or ``"synthetic"``.
+        num_tuples: Number of rows.
+        pointer_scheme: Tuple-identifier scheme for both mechanisms.
+        host_index_kind: ``"btree"`` (in-memory B+-tree) or ``"sorted"``
+            (the searchsorted-backed :class:`SortedColumnIndex`).
+        trs_config: TRS-Tree parameter override.
+        seed: Data-generation seed.
+    """
+    targets, hosts = _workload_columns(workload, num_tuples, seed)
+    table = Table(numeric_schema(f"hotpath_{workload}",
+                                 ["pk", "host", "target"], primary_key="pk"))
+    table.insert_many({
+        "pk": np.arange(num_tuples, dtype=np.float64),
+        "host": np.asarray(hosts, dtype=np.float64),
+        "target": np.asarray(targets, dtype=np.float64),
+    })
+    slots, pks, host_values = table.project(["pk", "host"])
+    tids = slots if pointer_scheme is PointerScheme.PHYSICAL else pks
+
+    host_index: Index
+    if host_index_kind == "sorted":
+        host_index = SortedColumnIndex()
+        host_index.load_arrays(host_values, tids)
+    elif host_index_kind == "btree":
+        host_index = BPlusTree()
+        host_index.bulk_load(
+            (float(h), t) for h, t in zip(host_values.tolist(), tids.tolist())
+        )
+    else:
+        raise ValueError(
+            f"unknown host index kind {host_index_kind!r}; "
+            f"use one of {HOST_INDEX_KINDS}"
+        )
+
+    primary = None
+    if pointer_scheme.needs_primary_lookup:
+        primary = BPlusTree()
+        primary.bulk_load(
+            (float(pk), int(s)) for pk, s in zip(pks.tolist(), slots.tolist())
+        )
+
+    hermit = HermitIndex(table, "target", "host", host_index,
+                         primary_index=primary, pointer_scheme=pointer_scheme,
+                         config=trs_config or TRSTreeConfig())
+    hermit.build()
+    baseline = BaselineSecondaryIndex(table, "target", primary_index=primary,
+                                      pointer_scheme=pointer_scheme)
+    baseline.build()
+    return HotpathSetup(
+        workload=workload, table=table, hermit=hermit, baseline=baseline,
+        domain=(float(targets.min()), float(targets.max())),
+        num_tuples=num_tuples,
+    )
+
+
+def measure_mechanism(setup: HotpathSetup, label: str,
+                      queries: list[RangeQuery], selectivity: float,
+                      pointer_scheme: PointerScheme,
+                      host_index_kind: str) -> HotpathMeasurement:
+    """Time the scalar, vectorized and batch paths of one mechanism.
+
+    All three paths run the identical query list; their result sets are
+    compared query by query, so a vectorized-path correctness bug shows up
+    as ``results_agree=False`` rather than as a silently wrong speedup.
+    """
+    mechanism = setup.mechanisms[label]
+
+    started = time.perf_counter()
+    scalar_results = [mechanism.lookup_range_scalar(q.low, q.high)
+                      for q in queries]
+    scalar_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    vectorized_results = [mechanism.lookup_range(q.low, q.high)
+                          for q in queries]
+    vectorized_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batch = mechanism.lookup_range_many([(q.low, q.high) for q in queries])
+    batched_seconds = time.perf_counter() - started
+
+    agree = all(
+        set(scalar.locations) == set(vectorized.locations) == set(batched)
+        for scalar, vectorized, batched in zip(
+            scalar_results, vectorized_results, batch.locations_per_query
+        )
+    )
+    return HotpathMeasurement(
+        workload=setup.workload,
+        mechanism=label,
+        pointer_scheme=pointer_scheme.value,
+        host_index=host_index_kind,
+        num_tuples=setup.num_tuples,
+        selectivity=selectivity,
+        num_queries=len(queries),
+        total_results=batch.total_results,
+        scalar_seconds=scalar_seconds,
+        vectorized_seconds=vectorized_seconds,
+        batched_seconds=batched_seconds,
+        results_agree=agree,
+    )
+
+
+def run_hotpath_suite(workloads=WORKLOADS, num_tuples: int = 20_000,
+                      selectivity: float = 1e-3, num_queries: int = 30,
+                      pointer_scheme: PointerScheme = PointerScheme.PHYSICAL,
+                      host_index_kind: str = "btree",
+                      seed: int = 42) -> list[HotpathMeasurement]:
+    """Measure every workload × mechanism combination.
+
+    Returns one :class:`HotpathMeasurement` per (workload, mechanism) pair.
+    """
+    measurements: list[HotpathMeasurement] = []
+    for workload in workloads:
+        setup = build_hotpath_setup(workload, num_tuples,
+                                    pointer_scheme=pointer_scheme,
+                                    host_index_kind=host_index_kind, seed=seed)
+        queries = range_queries(setup.domain, selectivity,
+                                count=num_queries, seed=seed)
+        for label in ("HERMIT", "Baseline"):
+            measurements.append(measure_mechanism(
+                setup, label, queries, selectivity, pointer_scheme,
+                host_index_kind,
+            ))
+    return measurements

@@ -9,6 +9,17 @@ It combines (Section 5):
 3. an optional *primary index* probe when the RDBMS uses logical pointers, and
 4. a *base-table validation* step that removes false positives.
 
+The lookup pipeline is array-native end to end: host-index probes return
+numpy tid arrays (:meth:`~repro.index.base.Index.range_search_many_array`),
+candidate dedup is ``np.unique``, logical pointers are resolved through one
+batched primary-index probe (:meth:`~repro.index.base.Index.search_many`) and
+base-table validation is a single fancy-index + boolean mask
+(:meth:`~repro.storage.table.Table.filter_in_range`).  The original
+object-at-a-time path is kept as :meth:`HermitIndex.lookup_range_scalar` —
+it is the reference semantics for the equivalence property tests and the
+"before" side of the hot-path benchmark.  :meth:`HermitIndex.lookup_range_many`
+answers a whole predicate batch with amortised per-call overhead.
+
 The class keeps a per-phase time breakdown for every lookup so the benchmark
 harness can regenerate the breakdown figures (Figures 10, 14, 24b).
 """
@@ -27,6 +38,55 @@ from repro.index.base import Index, KeyRange
 from repro.storage.identifiers import PointerScheme, TupleId
 from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
 from repro.storage.table import Table
+
+
+def resolve_tids_array(tids: np.ndarray, pointer_scheme: PointerScheme,
+                       primary_index: Index | None,
+                       breakdown: "LookupBreakdown") -> np.ndarray:
+    """Map one tid array to row locations (lookup Step 3, batched).
+
+    Physical pointers *are* locations; logical pointers are resolved through
+    one batched primary-index probe, charged to the breakdown's
+    primary-index phase.  Shared by Hermit, the Baseline and CM so the
+    pointer-resolution rules live in exactly one place.
+    """
+    if pointer_scheme is PointerScheme.PHYSICAL:
+        return tids.astype(np.int64, copy=False)
+    assert primary_index is not None
+    started = time.perf_counter()
+    locations = np.asarray(primary_index.search_many(tids), dtype=np.int64)
+    breakdown.primary_index_seconds += time.perf_counter() - started
+    return locations
+
+
+def resolve_tids_many(tid_arrays: list[np.ndarray],
+                      pointer_scheme: PointerScheme,
+                      primary_index: Index | None,
+                      breakdown: "LookupBreakdown") -> list[np.ndarray]:
+    """Per-query variant of :func:`resolve_tids_array` for the batch APIs.
+
+    The primary-index phase clock is read once around the whole batch, not
+    twice per query — under logical pointers this is the dominant phase and
+    per-query clock reads would be exactly the overhead the batch APIs
+    exist to amortise.
+    """
+    if pointer_scheme is PointerScheme.PHYSICAL:
+        return [tids.astype(np.int64, copy=False) for tids in tid_arrays]
+    assert primary_index is not None
+    started = time.perf_counter()
+    locations = [np.asarray(primary_index.search_many(tids), dtype=np.int64)
+                 for tids in tid_arrays]
+    breakdown.primary_index_seconds += time.perf_counter() - started
+    return locations
+
+
+def coerce_ranges(predicates) -> list[KeyRange]:
+    """Normalise a predicate batch to ``KeyRange`` objects."""
+    return [
+        predicate if isinstance(predicate, KeyRange)
+        else KeyRange(float(predicate[0]), float(predicate[1]))
+        for predicate in predicates
+    ]
 
 
 @dataclass
@@ -86,10 +146,68 @@ class LookupBreakdown:
 
 @dataclass
 class HermitLookupResult:
-    """Result of one Hermit lookup."""
+    """Result of one Hermit lookup.
 
-    locations: list[int] = field(default_factory=list)
+    Attributes:
+        locations: Matching row locations — an int64 numpy array on the
+            vectorized path, a plain list on the scalar reference path.
+            Both support ``len``, iteration, ``in`` and ``set(...)``.
+        breakdown: Per-phase time accounting for this lookup.
+    """
+
+    locations: "np.ndarray | list[int]" = field(default_factory=list)
     breakdown: LookupBreakdown = field(default_factory=LookupBreakdown)
+
+
+@dataclass
+class BatchLookupResult:
+    """Result of one batched lookup (``lookup_range_many``).
+
+    Attributes:
+        locations_per_query: One int64 location array per input predicate,
+            in input order.
+        breakdown: Per-phase time accounting accumulated over the batch
+            (``lookups`` equals the number of predicates).
+    """
+
+    locations_per_query: list[np.ndarray] = field(default_factory=list)
+    breakdown: LookupBreakdown = field(default_factory=LookupBreakdown)
+
+    @property
+    def total_results(self) -> int:
+        """Total number of matching rows across the batch."""
+        return sum(len(locations) for locations in self.locations_per_query)
+
+
+def finish_batch_lookup(table: Table, target_column: str,
+                        ranges: list[KeyRange],
+                        tid_arrays: list[np.ndarray],
+                        pointer_scheme: PointerScheme,
+                        primary_index: Index | None,
+                        breakdown: "LookupBreakdown",
+                        cumulative: "LookupBreakdown") -> BatchLookupResult:
+    """Shared tail of every mechanism's ``lookup_range_many``.
+
+    After a mechanism has produced one candidate-tid array per predicate
+    (each under its own phase accounting), the remaining pipeline is
+    identical across Hermit, the Baseline and CM: batched pointer
+    resolution, vectorized base-table validation, and candidate/result
+    accounting merged into the cumulative breakdown.
+    """
+    locations = resolve_tids_many(tid_arrays, pointer_scheme, primary_index,
+                                  breakdown)
+    started = time.perf_counter()
+    matches = [
+        table.filter_in_range(locs, target_column,
+                              predicate.low, predicate.high)
+        for locs, predicate in zip(locations, ranges)
+    ]
+    breakdown.base_table_seconds += time.perf_counter() - started
+
+    breakdown.candidates += sum(len(locs) for locs in locations)
+    breakdown.results += sum(len(found) for found in matches)
+    cumulative.merge(breakdown)
+    return BatchLookupResult(locations_per_query=matches, breakdown=breakdown)
 
 
 class HermitIndex:
@@ -149,7 +267,76 @@ class HermitIndex:
     # ----------------------------------------------------------------- lookup
 
     def lookup_range(self, low: float, high: float) -> HermitLookupResult:
-        """Answer ``low <= target_column <= high`` exactly (Figure 3 workflow)."""
+        """Answer ``low <= target_column <= high`` exactly (Figure 3 workflow).
+
+        Candidates stay numpy arrays through all four phases: host-index
+        probe, ``np.unique`` dedup, batched primary-index resolution and one
+        fancy-index base-table validation.
+        """
+        predicate = KeyRange(low, high)
+        breakdown = LookupBreakdown(lookups=1)
+
+        started = time.perf_counter()
+        trs_result = self.trs_tree.lookup(predicate)
+        breakdown.trs_seconds += time.perf_counter() - started
+
+        started = time.perf_counter()
+        candidate_tids = self._candidate_array(trs_result)
+        breakdown.host_index_seconds += time.perf_counter() - started
+
+        locations = self._resolve_locations_array(candidate_tids, breakdown)
+
+        started = time.perf_counter()
+        matches = self.table.filter_in_range(
+            locations, self.target_column, predicate.low, predicate.high
+        )
+        breakdown.base_table_seconds += time.perf_counter() - started
+
+        breakdown.candidates += len(locations)
+        breakdown.results += len(matches)
+        self.cumulative.merge(breakdown)
+        return HermitLookupResult(locations=matches, breakdown=breakdown)
+
+    def lookup_range_many(self, predicates) -> BatchLookupResult:
+        """Answer a batch of range predicates with amortised overhead.
+
+        Args:
+            predicates: A sequence of ``KeyRange`` objects or ``(low, high)``
+                pairs.
+
+        The per-phase clock is read once per phase per batch instead of
+        twice per phase per query, and every per-query intermediate stays a
+        numpy array; the bench harness uses this to measure the lookup path
+        itself rather than Python call dispatch.
+        """
+        ranges = coerce_ranges(predicates)
+        breakdown = LookupBreakdown(lookups=len(ranges))
+
+        started = time.perf_counter()
+        trs_results = [self.trs_tree.lookup(predicate) for predicate in ranges]
+        breakdown.trs_seconds += time.perf_counter() - started
+
+        started = time.perf_counter()
+        candidates = [self._candidate_array(trs) for trs in trs_results]
+        breakdown.host_index_seconds += time.perf_counter() - started
+
+        return finish_batch_lookup(
+            self.table, self.target_column, ranges, candidates,
+            self.pointer_scheme, self.primary_index, breakdown, self.cumulative,
+        )
+
+    def lookup_point(self, value: float) -> HermitLookupResult:
+        """Answer ``target_column == value`` exactly."""
+        return self.lookup_range(value, value)
+
+    def lookup_range_scalar(self, low: float, high: float) -> HermitLookupResult:
+        """Object-at-a-time reference implementation of :meth:`lookup_range`.
+
+        This is the seed code path (Python ``set`` dedup, per-key primary
+        probes, per-row validation), kept verbatim as the reference semantics
+        for the equivalence property tests and as the "scalar" side of
+        ``benchmarks/bench_hotpath_vectorized.py``.
+        """
         predicate = KeyRange(low, high)
         breakdown = LookupBreakdown(lookups=1)
 
@@ -173,13 +360,28 @@ class HermitIndex:
         self.cumulative.merge(breakdown)
         return HermitLookupResult(locations=matches, breakdown=breakdown)
 
-    def lookup_point(self, value: float) -> HermitLookupResult:
-        """Answer ``target_column == value`` exactly."""
-        return self.lookup_range(value, value)
+    def _candidate_array(self, trs_result) -> np.ndarray:
+        """Step 2: deduplicated candidate tids as one numpy array."""
+        candidates = self.host_index.range_search_many_array(trs_result.host_ranges)
+        outliers = trs_result.outlier_tid_array()
+        if outliers.size:
+            if candidates.size:
+                candidates = np.concatenate([candidates, outliers])
+            else:
+                candidates = outliers
+        if candidates.size:
+            candidates = np.unique(candidates)
+        return candidates
+
+    def _resolve_locations_array(self, tids: np.ndarray,
+                                 breakdown: LookupBreakdown) -> np.ndarray:
+        """Map a tid array to row locations (Step 3, optional, batched)."""
+        return resolve_tids_array(tids, self.pointer_scheme,
+                                  self.primary_index, breakdown)
 
     def _resolve_locations(self, tids: set[TupleId],
                            breakdown: LookupBreakdown) -> list[int]:
-        """Map tuple identifiers to row locations (Step 3, optional)."""
+        """Scalar reference of :meth:`_resolve_locations_array`."""
         if self.pointer_scheme is PointerScheme.PHYSICAL:
             return [int(tid) for tid in tids]
         started = time.perf_counter()
@@ -191,7 +393,7 @@ class HermitIndex:
         return locations
 
     def _validate(self, locations: list[int], predicate: KeyRange) -> list[int]:
-        """Step 4: fetch candidate tuples and keep only true matches."""
+        """Scalar reference of the Step 4 validation (one row at a time)."""
         matches: list[int] = []
         for location in locations:
             if not self.table.is_live(location):
@@ -239,13 +441,28 @@ class HermitIndex:
         return self.trs_tree.pending_reorganizations
 
     def data_provider(self):
-        """Return the base-table data provider used by reorganization."""
+        """Return the base-table data provider used by reorganization.
+
+        The table is projected lazily, at most once per returned provider:
+        a single ``reorganize()`` pass may rebuild dozens of candidate nodes,
+        and re-projecting the entire table per candidate turned the pass into
+        O(candidates × table size).  The projected arrays (including resolved
+        tids) are cached in the closure and re-sliced per candidate range.
+        """
+        cache: dict[str, np.ndarray] = {}
+
         def provider(key_range: KeyRange):
-            slots, targets, hosts = self.table.project(
-                [self.target_column, self.host_column]
-            )
+            if not cache:
+                slots, targets, hosts = self.table.project(
+                    [self.target_column, self.host_column]
+                )
+                cache["targets"] = targets
+                cache["hosts"] = hosts
+                cache["tids"] = self._tids_for_slots(slots)
+            targets = cache["targets"]
             mask = (targets >= key_range.low) & (targets <= key_range.high)
-            return targets[mask], hosts[mask], self._tids_for_slots(slots[mask])
+            return targets[mask], cache["hosts"][mask], cache["tids"][mask]
+
         return provider
 
     def reorganize(self, max_candidates: int | None = None) -> int:

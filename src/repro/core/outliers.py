@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import bisect
 from collections import defaultdict
+from itertools import chain
 from typing import Iterator
 
 from repro.index.base import KeyRange
@@ -65,13 +66,20 @@ class OutlierBuffer:
         return True
 
     def lookup(self, target_range: KeyRange) -> list[TupleId]:
-        """Tuple identifiers whose target value lies in ``target_range``."""
+        """Tuple identifiers whose target value lies in ``target_range``.
+
+        The matching buckets are concatenated in a single C-level pass, so
+        the result is one flat list that callers (the vectorized Hermit
+        lookup) can hand to ``np.asarray`` without a second copy.
+        """
         start = bisect.bisect_left(self._sorted_keys, target_range.low)
         stop = bisect.bisect_right(self._sorted_keys, target_range.high)
-        results: list[TupleId] = []
-        for position in range(start, stop):
-            results.extend(self._entries[self._sorted_keys[position]])
-        return results
+        if start == stop:
+            return []
+        entries = self._entries
+        return list(chain.from_iterable(
+            entries[key] for key in self._sorted_keys[start:stop]
+        ))
 
     def lookup_point(self, target_value: float) -> list[TupleId]:
         """Tuple identifiers stored exactly under ``target_value``."""

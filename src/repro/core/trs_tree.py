@@ -59,6 +59,18 @@ class TRSLookupResult:
     leaves_visited: int = 0
     nodes_visited: int = 0
 
+    def outlier_tid_array(self) -> np.ndarray:
+        """The outlier tids as one numpy array (empty int64 array if none).
+
+        ``outlier_tids`` is accumulated as a flat list during the tree walk
+        (each leaf's buffer returns a pre-concatenated bucket list), so this
+        is a single conversion with no intermediate copies — the form the
+        vectorized Hermit lookup consumes.
+        """
+        if not self.outlier_tids:
+            return np.empty(0, dtype=np.int64)
+        return np.asarray(self.outlier_tids)
+
 
 @dataclass
 class ReorganizationCandidate:

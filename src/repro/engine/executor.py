@@ -30,8 +30,11 @@ def full_scan(table: Table, predicate: RangePredicate) -> QueryResult:
 def execute_with_index(entry: IndexEntry, predicate: RangePredicate) -> QueryResult:
     """Execute a predicate through a catalogued index mechanism."""
     result = entry.mechanism.lookup_range(predicate.low, predicate.high)
+    # Mechanisms return either an int64 array (vectorized path) or a list
+    # (scalar reference path); normalise to a sorted list of Python ints.
+    locations = np.sort(np.asarray(result.locations, dtype=np.int64)).tolist()
     return QueryResult(
-        locations=sorted(result.locations),
+        locations=locations,
         breakdown=result.breakdown,
         used_index=entry.name,
     )

@@ -1,10 +1,11 @@
-"""Index substrate: B+-trees (in-memory and paged), hash index, composite index."""
+"""Index substrate: B+-trees (in-memory and paged), hash, sorted-column, composite."""
 
 from repro.index.base import Index, IndexStatistics, KeyRange
 from repro.index.bptree import BPlusTree
 from repro.index.composite import CompositeIndex
 from repro.index.hash_index import HashIndex
 from repro.index.paged_bptree import PagedBPlusTree
+from repro.index.sorted_column import SortedColumnIndex
 
 __all__ = [
     "BPlusTree",
@@ -14,4 +15,5 @@ __all__ = [
     "IndexStatistics",
     "KeyRange",
     "PagedBPlusTree",
+    "SortedColumnIndex",
 ]

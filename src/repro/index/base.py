@@ -1,9 +1,20 @@
 """Index interfaces shared by all index structures.
 
 Every index in the library — the in-memory B+-tree, the page-based B+-tree,
-the hash index, the TRS-Tree-backed Hermit index and the Correlation Map —
-exposes the same small surface so the engine's executor, the baselines and the
-benchmarks can swap them freely.
+the hash index, the sorted-column index, the TRS-Tree-backed Hermit index and
+the Correlation Map — exposes the same small surface so the engine's executor,
+the baselines and the benchmarks can swap them freely.
+
+Two flavours of the read API coexist:
+
+* the *scalar* methods (``search`` / ``range_search`` / ``range_search_many``)
+  return Python lists, one tuple identifier at a time — this is the seed
+  implementation and the reference semantics, and
+* the *array* methods (``search_many`` / ``range_search_array`` /
+  ``range_search_many_array``) return numpy arrays so the whole Hermit lookup
+  pipeline can stay array-native end to end.  The base class provides
+  fallbacks built on the scalar methods; concrete indexes override them with
+  genuinely vectorized implementations.
 """
 
 from __future__ import annotations
@@ -11,6 +22,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.storage.identifiers import TupleId
 
@@ -133,6 +146,47 @@ class Index(abc.ABC):
         for key_range in ranges:
             results.extend(self.range_search(key_range))
         return results
+
+    # ------------------------------------------------------------- array API
+
+    def search_many(self, keys: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Batched point probe: all tids stored under any of ``keys``.
+
+        The default falls back to per-key :meth:`search`; hash and sorted
+        indexes override it with a single-pass implementation.
+        """
+        flat: list[TupleId] = []
+        for key in keys:
+            flat.extend(self.search(float(key)))
+        if not flat:
+            return np.empty(0, dtype=np.int64)
+        return np.asarray(flat)
+
+    def range_search_array(self, key_range: KeyRange) -> np.ndarray:
+        """Array-returning variant of :meth:`range_search`.
+
+        The default materialises the scalar result; array-native indexes
+        (``BPlusTree``, ``SortedColumnIndex``) override it to avoid per-tid
+        Python object traffic.
+        """
+        results = self.range_search(key_range)
+        if not results:
+            return np.empty(0, dtype=np.int64)
+        return np.asarray(results)
+
+    def range_search_many_array(self, ranges: Sequence[KeyRange]) -> np.ndarray:
+        """Union of :meth:`range_search_array` over several ranges.
+
+        The result may contain duplicates when the ranges overlap; callers
+        that need a set dedup with ``np.unique``.
+        """
+        arrays = [self.range_search_array(key_range) for key_range in ranges]
+        arrays = [array for array in arrays if array.size]
+        if not arrays:
+            return np.empty(0, dtype=np.int64)
+        if len(arrays) == 1:
+            return arrays[0]
+        return np.concatenate(arrays)
 
     def bulk_load(self, pairs: Iterable[tuple[float, TupleId]]) -> None:
         """Insert many (key, tid) pairs; subclasses may override with a faster path."""

@@ -16,9 +16,12 @@ the reproduced experiments, none of which depend on shrink-side rebalancing.
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, Iterator
+from itertools import chain
+from typing import Iterable, Iterator, Sequence
 
-from repro.errors import KeyNotFoundError
+import numpy as np
+
+from repro.errors import KeyNotFoundError, StorageError
 from repro.index.base import Index, KeyRange
 from repro.storage.identifiers import TupleId
 from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
@@ -125,7 +128,19 @@ class BPlusTree(Index):
         Pairs are sorted, packed into leaves at ~70% fill and the internal
         levels are built bottom-up, mirroring the single-thread bulk loading
         the paper uses for the baseline B+-tree.
+
+        Raises:
+            StorageError: If the tree already holds entries.  Bulk loading
+                replaces the whole structure, so calling it on a non-empty
+                tree would silently discard the existing entries (while
+                ``num_entries`` kept counting them); incremental
+                :meth:`insert` is the right tool there.
         """
+        if self._num_entries:
+            raise StorageError(
+                f"bulk_load on a non-empty BPlusTree would discard "
+                f"{self._num_entries} existing entries; use insert() instead"
+            )
         ordered = sorted(((float(k), t) for k, t in pairs), key=lambda p: p[0])
         if not ordered:
             return
@@ -190,6 +205,52 @@ class BPlusTree(Index):
             leaf = leaf.next_leaf
             start = 0
         return results
+
+    def range_search_array(self, key_range: KeyRange) -> np.ndarray:
+        """Array-native range scan: gather whole leaf runs, convert once.
+
+        Instead of extending a Python list one key at a time, each visited
+        leaf contributes its matching ``values[start:stop]`` slice (located
+        with two bisects per leaf); the per-key tid lists are flattened with a
+        single C-level ``chain`` pass and converted to one numpy array.  This
+        is the hot path of the vectorized Hermit lookup.
+        """
+        self.stats.range_lookups += 1
+        runs: list[list[TupleId]] = []
+        leaf: _LeafNode | None = self._find_leaf(key_range.low)
+        start = bisect.bisect_left(leaf.keys, key_range.low)
+        while leaf is not None:
+            stop = bisect.bisect_right(leaf.keys, key_range.high, start)
+            runs.extend(leaf.values[start:stop])
+            if stop < len(leaf.keys):
+                break
+            leaf = leaf.next_leaf
+            start = 0
+        flat = list(chain.from_iterable(runs))
+        if not flat:
+            return np.empty(0, dtype=np.int64)
+        return np.asarray(flat)
+
+    def search_many(self, keys: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Batched point probe: one descent per key, one final conversion.
+
+        A B+-tree probe is inherently per-key, but the batch avoids the
+        per-key ``search`` dispatch, list copy and stats bump of the base
+        fallback — this is the primary-resolution hot path of the vectorized
+        lookup under logical pointers.
+        """
+        keys = [float(key) for key in keys]
+        self.stats.lookups += len(keys)
+        runs: list[list[TupleId]] = []
+        for key in keys:
+            leaf = self._find_leaf(key)
+            index = bisect.bisect_left(leaf.keys, key)
+            if index < len(leaf.keys) and leaf.keys[index] == key:
+                runs.append(leaf.values[index])
+        flat = list(chain.from_iterable(runs))
+        if not flat:
+            return np.empty(0, dtype=np.int64)
+        return np.asarray(flat)
 
     def items(self) -> Iterator[tuple[float, TupleId]]:
         """Iterate all (key, tid) pairs in key order."""

@@ -13,7 +13,10 @@ Used in two places:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterator
+from itertools import chain
+from typing import Iterator, Sequence
+
+import numpy as np
 
 from repro.errors import KeyNotFoundError
 from repro.index.base import Index, KeyRange
@@ -60,6 +63,22 @@ class HashIndex(Index):
         """Return all tuple ids stored under ``key``."""
         self.stats.lookups += 1
         return list(self._buckets.get(key, ()))
+
+    def search_many(self, keys: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Batched point probe: one dict access per key, one final conversion.
+
+        Used by the vectorized Hermit lookup to resolve a whole candidate
+        batch of logical pointers through the primary index without a Python
+        ``list.extend`` per key.
+        """
+        keys = [float(key) for key in keys]
+        self.stats.lookups += len(keys)
+        buckets = self._buckets
+        runs = [buckets[key] for key in keys if key in buckets]
+        flat = list(chain.from_iterable(runs))
+        if not flat:
+            return np.empty(0, dtype=np.int64)
+        return np.asarray(flat)
 
     def range_search(self, key_range: KeyRange) -> list[TupleId]:
         """Return all tuple ids whose key falls in ``key_range``.

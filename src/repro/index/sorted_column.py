@@ -1,0 +1,203 @@
+"""Sorted-column index: a ``searchsorted``-backed array index.
+
+The structure is two parallel numpy arrays — keys (sorted ascending) and the
+tuple identifiers stored under them — probed with ``np.searchsorted``.  Point
+and range lookups are O(log n) binary searches followed by a contiguous slice,
+which makes it the cheapest possible host index for the vectorized Hermit
+lookup path: a range probe returns a *view* of the tid array with no per-entry
+Python object traffic at all.
+
+It is a read-optimised structure.  :meth:`bulk_load` builds it in one
+``argsort``; incremental :meth:`insert`/:meth:`delete` keep the arrays sorted
+with ``np.insert``/``np.delete`` and therefore cost O(n) per operation, which
+is acceptable for the paper's read-heavy workloads (maintenance traffic is
+orders of magnitude rarer than lookups) but makes it the wrong choice for
+write-heavy tables — use the B+-tree there.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import KeyNotFoundError, StorageError
+from repro.index.base import Index, KeyRange
+from repro.storage.identifiers import TupleId
+from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
+
+
+class SortedColumnIndex(Index):
+    """A non-unique sorted-array index mapping numeric keys to tuple ids.
+
+    Args:
+        size_model: Analytic cost model for :meth:`memory_bytes`.
+    """
+
+    def __init__(self, size_model: SizeModel = DEFAULT_SIZE_MODEL) -> None:
+        super().__init__()
+        self._size_model = size_model
+        self._keys = np.empty(0, dtype=np.float64)
+        self._tids = np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------ write
+
+    def bulk_load(self, pairs: Iterable[tuple[float, TupleId]]) -> None:
+        """Build the index from (key, tid) pairs in one stable argsort.
+
+        Raises:
+            StorageError: If the index already holds entries (rebuilding in
+                place would silently discard them).
+        """
+        if self._keys.size:
+            raise StorageError(
+                "bulk_load on a non-empty SortedColumnIndex would discard "
+                f"{self._keys.size} existing entries; build a fresh index"
+            )
+        materialised = list(pairs)
+        if not materialised:
+            return
+        keys = np.asarray([key for key, _ in materialised], dtype=np.float64)
+        tids = np.asarray([tid for _, tid in materialised])
+        self.load_arrays(keys, tids)
+
+    def load_arrays(self, keys: np.ndarray, tids: np.ndarray) -> None:
+        """Bulk-load directly from aligned numpy arrays (zero-copy fast path).
+
+        Raises:
+            StorageError: If the arrays disagree in length or the index is
+                already populated.
+        """
+        if self._keys.size:
+            raise StorageError(
+                "load_arrays on a non-empty SortedColumnIndex would discard "
+                f"{self._keys.size} existing entries; build a fresh index"
+            )
+        keys = np.asarray(keys, dtype=np.float64)
+        tids = np.asarray(tids)
+        if keys.shape != tids.shape:
+            raise StorageError("keys and tids must have equal length")
+        order = np.argsort(keys, kind="stable")
+        self._keys = keys[order]
+        self._tids = tids[order]
+
+    def insert(self, key: float, tid: TupleId) -> None:
+        """Insert ``key -> tid``, keeping the arrays sorted (O(n))."""
+        self.stats.inserts += 1
+        key = float(key)
+        if (np.issubdtype(self._tids.dtype, np.integer)
+                and isinstance(tid, float) and not tid.is_integer()):
+            # Logical pointers are primary-key values and may be fractional.
+            self._tids = self._tids.astype(np.float64)
+        position = int(np.searchsorted(self._keys, key, side="right"))
+        self._keys = np.insert(self._keys, position, key)
+        self._tids = np.insert(self._tids, position, tid)
+
+    def delete(self, key: float, tid: TupleId) -> None:
+        """Remove one occurrence of ``key -> tid`` (O(n)).
+
+        Raises:
+            KeyNotFoundError: If the pair is not present.
+        """
+        self.stats.deletes += 1
+        key = float(key)
+        start, stop = self._bounds(key, key)
+        if start == stop:
+            raise KeyNotFoundError(f"key {key!r} is not in the index")
+        run = self._tids[start:stop]
+        matches = np.flatnonzero(run == tid)
+        if not matches.size:
+            raise KeyNotFoundError(f"tid {tid!r} is not stored under key {key!r}")
+        position = start + int(matches[0])
+        self._keys = np.delete(self._keys, position)
+        self._tids = np.delete(self._tids, position)
+
+    # ------------------------------------------------------------------- read
+
+    def search(self, key: float) -> list[TupleId]:
+        """Return all tuple ids stored under ``key`` (empty list if absent)."""
+        self.stats.lookups += 1
+        start, stop = self._bounds(float(key), float(key))
+        return self._tids[start:stop].tolist()
+
+    def search_many(self, keys: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Batched point probe: one vectorized double-searchsorted.
+
+        The result may be a read-only view of the index's internal array.
+        """
+        keys = np.asarray(keys, dtype=np.float64)
+        self.stats.lookups += int(keys.size)
+        if not keys.size or not self._keys.size:
+            return np.empty(0, dtype=self._tids.dtype)
+        starts = np.searchsorted(self._keys, keys, side="left")
+        stops = np.searchsorted(self._keys, keys, side="right")
+        runs = [self._run(start, stop) for start, stop in zip(starts, stops)
+                if stop > start]
+        if not runs:
+            return np.empty(0, dtype=self._tids.dtype)
+        if len(runs) == 1:
+            return runs[0]
+        return np.concatenate(runs)
+
+    def range_search(self, key_range: KeyRange) -> list[TupleId]:
+        """Return all tuple ids whose key lies in the closed ``key_range``."""
+        self.stats.range_lookups += 1
+        start, stop = self._bounds(key_range.low, key_range.high)
+        return self._tids[start:stop].tolist()
+
+    def range_search_array(self, key_range: KeyRange) -> np.ndarray:
+        """Contiguous tid slice for a closed range: two binary searches.
+
+        The result is a zero-copy *read-only* view of the index's internal
+        tid array — writing through it would silently corrupt the key → tid
+        association, so the view is locked.
+        """
+        self.stats.range_lookups += 1
+        start, stop = self._bounds(key_range.low, key_range.high)
+        return self._run(start, stop)
+
+    def range_search_many_array(self, ranges: Sequence[KeyRange]) -> np.ndarray:
+        """Union over several ranges with one vectorized searchsorted pair."""
+        if not ranges:
+            return np.empty(0, dtype=self._tids.dtype)
+        self.stats.range_lookups += len(ranges)
+        lows = np.asarray([key_range.low for key_range in ranges])
+        highs = np.asarray([key_range.high for key_range in ranges])
+        starts = np.searchsorted(self._keys, lows, side="left")
+        stops = np.searchsorted(self._keys, highs, side="right")
+        runs = [self._run(start, stop) for start, stop in zip(starts, stops)
+                if stop > start]
+        if not runs:
+            return np.empty(0, dtype=self._tids.dtype)
+        if len(runs) == 1:
+            return runs[0]
+        return np.concatenate(runs)
+
+    def items(self) -> Iterator[tuple[float, TupleId]]:
+        """Iterate all (key, tid) pairs in key order."""
+        for key, tid in zip(self._keys.tolist(), self._tids.tolist()):
+            yield key, tid
+
+    # ------------------------------------------------------------- accounting
+
+    @property
+    def num_entries(self) -> int:
+        """Number of (key, tid) entries stored."""
+        return int(self._keys.size)
+
+    def memory_bytes(self) -> int:
+        """Analytic size in bytes (two packed parallel arrays)."""
+        return self._size_model.sorted_array_bytes(self.num_entries)
+
+    # ---------------------------------------------------------------- private
+
+    def _bounds(self, low: float, high: float) -> tuple[int, int]:
+        start = int(np.searchsorted(self._keys, low, side="left"))
+        stop = int(np.searchsorted(self._keys, high, side="right"))
+        return start, stop
+
+    def _run(self, start: int, stop: int) -> np.ndarray:
+        """Read-only zero-copy view of one contiguous tid run."""
+        run = self._tids[start:stop].view()
+        run.flags.writeable = False
+        return run

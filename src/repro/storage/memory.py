@@ -81,6 +81,14 @@ class SizeModel:
         )
         return self.node_header_bytes + num_entries * per_entry
 
+    def sorted_array_bytes(self, num_entries: int) -> int:
+        """Estimate the size of a sorted-array index (packed key/tid pairs)."""
+        if num_entries <= 0:
+            return self.node_header_bytes
+        return self.node_header_bytes + num_entries * (
+            self.key_bytes + self.pointer_bytes
+        )
+
     def table_bytes(self, num_rows: int, row_byte_width: int) -> int:
         """Estimate the size of a base table."""
         return self.node_header_bytes + num_rows * row_byte_width

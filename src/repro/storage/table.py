@@ -184,6 +184,43 @@ class Table:
         slot = int(location)
         return 0 <= slot < self._next_slot and bool(self._live[slot])
 
+    def liveness(self, slots: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`is_live`: a boolean mask aligned with ``slots``.
+
+        Out-of-range slots are reported dead rather than raising, matching
+        the scalar method; one fancy-index replaces per-row ``_check_live``
+        calls on the lookup hot path.
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        return self._live_mask(slots)[1]
+
+    def filter_in_range(self, slots: np.ndarray, column_name: str,
+                        low: float, high: float) -> np.ndarray:
+        """Slots of live rows whose ``column_name`` value is in ``[low, high]``.
+
+        This is the vectorized base-table validation step of the Hermit
+        lookup: one fancy-index gather plus one boolean mask replace the
+        per-row ``_check_live`` + ``.item()`` + ``contains`` sequence of the
+        scalar path.  Input order is preserved; dead or out-of-range slots
+        are silently dropped (they are simply not matches).
+        """
+        self.schema.position_of(column_name)
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.size == 0:
+            return slots
+        if slots.size <= 8:
+            # Point lookups resolve to a handful of candidates; a direct loop
+            # beats the fixed cost of clip + three mask kernels there.
+            live, column = self._live, self._columns[column_name]
+            keep = [slot for slot in slots.tolist()
+                    if 0 <= slot < self._next_slot and live[slot]
+                    and low <= column[slot] <= high]
+            return np.asarray(keep, dtype=np.int64)
+        clipped, mask = self._live_mask(slots)
+        values = self._columns[column_name][clipped]
+        mask &= (values >= low) & (values <= high)
+        return slots[mask]
+
     def scan(self, column_names: Sequence[str] | None = None) -> Iterator[tuple[int, dict]]:
         """Iterate ``(slot, row)`` pairs over live rows.
 
@@ -263,6 +300,16 @@ class Table:
         grown_live[: self._next_slot] = self._live[: self._next_slot]
         self._live = grown_live
         self._capacity = new_capacity
+
+    def _live_mask(self, slots: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(in-bounds-clipped slots, live mask) for a slot array.
+
+        Clipping only keeps the fancy index in bounds; clipped positions are
+        masked out by the bounds check.
+        """
+        clipped = np.clip(slots, 0, max(0, self._next_slot - 1))
+        mask = (slots >= 0) & (slots < self._next_slot) & self._live[clipped]
+        return clipped, mask
 
     def _check_live(self, location: RowLocation | int) -> int:
         slot = int(location)

@@ -5,6 +5,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench_smoke: tiny-scale run of a benchmark hot path, kept in tier-1 "
+        "so the vectorized lookup path cannot silently regress to the scalar "
+        "fallback (deselect with '-m \"not bench_smoke\"')",
+    )
+
 from repro.engine.catalog import IndexMethod
 from repro.engine.database import Database
 from repro.storage.identifiers import PointerScheme

@@ -1,0 +1,85 @@
+"""Bench-smoke guard: the vectorized lookup path must stay vectorized.
+
+Runs the hot-path benchmark (``repro.bench.hotpath``) at tiny scale inside
+tier-1, asserting two things the unit tests cannot: (1) the scalar seed path,
+the vectorized path and the batch API return identical result sets on a real
+workload, and (2) the concrete index/storage classes actually override the
+array-API fallbacks — if someone deletes an override, every lookup silently
+degrades to the object-at-a-time fallback while staying correct, and only
+these assertions catch it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.hotpath import build_hotpath_setup, run_hotpath_suite
+from repro.index.base import Index
+from repro.index.bptree import BPlusTree
+from repro.index.hash_index import HashIndex
+from repro.index.sorted_column import SortedColumnIndex
+from repro.storage.identifiers import PointerScheme
+
+SMOKE_ROWS = 4_000
+SMOKE_QUERIES = 8
+
+
+@pytest.mark.bench_smoke
+class TestVectorizedPathNotFallback:
+    def test_bptree_overrides_array_range_search(self):
+        assert "range_search_array" in BPlusTree.__dict__
+        assert BPlusTree.range_search_array is not Index.range_search_array
+
+    def test_sorted_column_overrides_array_api(self):
+        assert "range_search_array" in SortedColumnIndex.__dict__
+        assert "range_search_many_array" in SortedColumnIndex.__dict__
+        assert "search_many" in SortedColumnIndex.__dict__
+
+    def test_hash_index_overrides_batched_search(self):
+        assert "search_many" in HashIndex.__dict__
+        assert HashIndex.search_many is not Index.search_many
+
+    @pytest.mark.parametrize("scheme", [PointerScheme.PHYSICAL,
+                                        PointerScheme.LOGICAL])
+    def test_lookup_results_are_arrays(self, scheme):
+        """Both mechanisms keep candidates as arrays through to the result."""
+        setup = build_hotpath_setup("synthetic", SMOKE_ROWS,
+                                    pointer_scheme=scheme)
+        for mechanism in setup.mechanisms.values():
+            single = mechanism.lookup_range(*_mid_range(setup))
+            assert isinstance(single.locations, np.ndarray)
+            assert single.locations.dtype == np.int64
+            batch = mechanism.lookup_range_many([_mid_range(setup)])
+            assert all(isinstance(locations, np.ndarray)
+                       for locations in batch.locations_per_query)
+
+
+@pytest.mark.bench_smoke
+class TestHotpathSmokeRun:
+    @pytest.mark.parametrize("scheme", [PointerScheme.PHYSICAL,
+                                        PointerScheme.LOGICAL])
+    def test_all_paths_agree_at_tiny_scale(self, scheme):
+        measurements = run_hotpath_suite(
+            workloads=("synthetic",), num_tuples=SMOKE_ROWS,
+            selectivity=0.01, num_queries=SMOKE_QUERIES,
+            pointer_scheme=scheme,
+        )
+        assert len(measurements) == 2  # HERMIT + Baseline
+        assert all(m.results_agree for m in measurements)
+        assert all(m.total_results > 0 for m in measurements)
+
+    def test_sorted_host_index_agrees(self):
+        measurements = run_hotpath_suite(
+            workloads=("stock",), num_tuples=SMOKE_ROWS,
+            selectivity=0.01, num_queries=SMOKE_QUERIES,
+            host_index_kind="sorted",
+        )
+        assert all(m.results_agree for m in measurements)
+
+
+def _mid_range(setup) -> tuple[float, float]:
+    low, high = setup.domain
+    middle = (low + high) / 2.0
+    width = (high - low) * 0.05
+    return middle - width, middle + width

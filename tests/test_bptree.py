@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import KeyNotFoundError
+from repro.errors import KeyNotFoundError, StorageError
 from repro.index.base import KeyRange
 from repro.index.bptree import BPlusTree
 
@@ -58,6 +58,30 @@ class TestRangeSearch:
         result = tree.range_search_many([KeyRange(0, 2), KeyRange(10, 12)])
         assert sorted(result) == [0, 1, 2, 10, 11, 12]
 
+    def test_range_search_array_matches_scalar(self):
+        tree = BPlusTree(node_capacity=4)
+        rng = np.random.default_rng(3)
+        for key in rng.uniform(0, 100, size=300):
+            tree.insert(float(key), int(key * 7))
+        probe = KeyRange(25.0, 75.0)
+        array_result = tree.range_search_array(probe)
+        assert isinstance(array_result, np.ndarray)
+        assert sorted(array_result.tolist()) == sorted(tree.range_search(probe))
+
+    def test_range_search_array_empty(self):
+        tree = BPlusTree()
+        tree.insert(1.0, 1)
+        result = tree.range_search_array(KeyRange(100.0, 200.0))
+        assert isinstance(result, np.ndarray)
+        assert result.size == 0
+
+    def test_range_search_many_array_concatenates(self):
+        tree = BPlusTree()
+        for i in range(30):
+            tree.insert(float(i), i)
+        result = tree.range_search_many_array([KeyRange(0, 2), KeyRange(10, 12)])
+        assert sorted(result.tolist()) == [0, 1, 2, 10, 11, 12]
+
 
 class TestDelete:
     def test_delete_removes_single_pair(self):
@@ -98,6 +122,22 @@ class TestBulkLoad:
         tree = BPlusTree()
         tree.bulk_load([])
         assert tree.num_entries == 0
+
+    def test_bulk_load_on_nonempty_tree_raises(self):
+        """Bulk loading a populated tree would silently drop its entries."""
+        tree = BPlusTree()
+        tree.insert(1.0, 1)
+        with pytest.raises(StorageError):
+            tree.bulk_load([(2.0, 2)])
+        # The original entry is still intact and still counted.
+        assert tree.search(1.0) == [1]
+        assert tree.num_entries == 1
+
+    def test_bulk_load_twice_raises(self):
+        tree = BPlusTree()
+        tree.bulk_load([(1.0, 1), (2.0, 2)])
+        with pytest.raises(StorageError):
+            tree.bulk_load([(3.0, 3)])
 
     def test_items_are_sorted(self):
         tree = BPlusTree(node_capacity=4)

@@ -112,7 +112,7 @@ class TestLookup:
         table = make_table()
         hermit = build_hermit(table)
         result = hermit.lookup_range(5000.0, 6000.0)
-        assert result.locations == []
+        assert len(result.locations) == 0
 
     def test_logical_scheme_requires_primary_index(self):
         table = make_table(count=50)

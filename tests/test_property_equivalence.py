@@ -5,6 +5,11 @@ any noise, any predicate and any interleaving of maintenance operations,
 Hermit returns *exactly* the same tuples as the conventional B+-tree secondary
 index and as a brute-force scan.  Correlation Maps must satisfy the same
 invariant (both mechanisms remove their false positives by validation).
+
+A second invariant guards the vectorized lookup path: for any predicate and
+either pointer scheme, the array-native ``lookup_range`` / ``lookup_range_many``
+pipeline must return exactly the same result set as the object-at-a-time seed
+path kept as ``lookup_range_scalar``.
 """
 
 from __future__ import annotations
@@ -114,6 +119,65 @@ class TestLookupEquivalence:
             expected = brute_force(table, value, value)
             assert set(hermit.lookup_point(value).locations) == expected
             assert set(baseline.lookup_point(value).locations) == expected
+
+
+class TestScalarVectorizedEquivalence:
+    """The vectorized path is a pure optimisation of the scalar seed path."""
+
+    @SETTINGS
+    @given(correlated_data, predicate_bounds,
+           st.sampled_from([PointerScheme.PHYSICAL, PointerScheme.LOGICAL]))
+    def test_range_lookup_paths_agree(self, rows, bounds, scheme):
+        targets = [t for t, _, _ in rows]
+        hosts = [
+            (3.0 * t - 7.0 + (noise if is_noisy else 0.0))
+            for t, noise, is_noisy in rows
+        ]
+        table = build_table(targets, hosts)
+        hermit, baseline, _ = build_mechanisms(table, scheme)
+        low, width = bounds
+        high = low + width
+        expected = brute_force(table, low, high)
+        for mechanism in (hermit, baseline):
+            scalar = set(mechanism.lookup_range_scalar(low, high).locations)
+            vectorized = set(mechanism.lookup_range(low, high).locations)
+            assert scalar == vectorized == expected
+
+    @SETTINGS
+    @given(correlated_data,
+           st.sampled_from([PointerScheme.PHYSICAL, PointerScheme.LOGICAL]))
+    def test_point_lookup_paths_agree(self, rows, scheme):
+        targets = [t for t, _, _ in rows]
+        hosts = [2.0 * t + 1.0 + (n if flag else 0.0) for t, n, flag in rows]
+        table = build_table(targets, hosts)
+        hermit, baseline, _ = build_mechanisms(table, scheme)
+        for value in set(targets[:10]):
+            expected = brute_force(table, value, value)
+            for mechanism in (hermit, baseline):
+                scalar = set(mechanism.lookup_range_scalar(value, value).locations)
+                vectorized = set(mechanism.lookup_point(value).locations)
+                assert scalar == vectorized == expected
+
+    @SETTINGS
+    @given(correlated_data,
+           st.lists(predicate_bounds, min_size=1, max_size=5),
+           st.sampled_from([PointerScheme.PHYSICAL, PointerScheme.LOGICAL]))
+    def test_batch_api_matches_per_query_lookups(self, rows, bounds_list, scheme):
+        targets = [t for t, _, _ in rows]
+        hosts = [1.2 * t + 3.0 + (n if flag else 0.0) for t, n, flag in rows]
+        table = build_table(targets, hosts)
+        hermit, baseline, cm = build_mechanisms(table, scheme)
+        predicates = [(low, low + width) for low, width in bounds_list]
+        for mechanism in (hermit, baseline, cm):
+            batch = mechanism.lookup_range_many(predicates)
+            assert len(batch.locations_per_query) == len(predicates)
+            for (low, high), locations in zip(predicates,
+                                              batch.locations_per_query):
+                assert set(locations) == brute_force(table, low, high)
+            assert batch.breakdown.lookups == len(predicates)
+            assert batch.total_results == sum(
+                len(locations) for locations in batch.locations_per_query
+            )
 
 
 class TestMaintenanceEquivalence:

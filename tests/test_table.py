@@ -112,6 +112,48 @@ class TestScans:
         assert list(values) == [101.0, 103.0]
 
 
+class TestVectorizedValidation:
+    def test_liveness_mask(self, table):
+        locations = table.insert_many({
+            "pk": np.arange(5.0), "x": np.arange(5.0), "y": np.zeros(5),
+        })
+        table.delete(locations[2])
+        mask = table.liveness(np.array([0, 1, 2, 3, 4]))
+        assert mask.tolist() == [True, True, False, True, True]
+
+    def test_liveness_out_of_range_is_dead(self, table):
+        table.insert({"pk": 1.0, "x": 2.0, "y": 3.0})
+        mask = table.liveness(np.array([-1, 0, 7]))
+        assert mask.tolist() == [False, True, False]
+
+    def test_liveness_empty_input(self, table):
+        assert table.liveness(np.array([], dtype=np.int64)).tolist() == []
+
+    def test_filter_in_range_matches_scalar_validation(self, table):
+        table.insert_many({
+            "pk": np.arange(20.0), "x": np.arange(20.0) * 10, "y": np.zeros(20),
+        })
+        table.delete(5)
+        slots = np.array([0, 3, 5, 7, 12, 19, 99])
+        result = table.filter_in_range(slots, "x", 30.0, 130.0)
+        expected = [
+            int(slot) for slot in slots
+            if table.is_live(slot) and 30.0 <= table.value(int(slot), "x") <= 130.0
+        ]
+        assert result.tolist() == expected  # [3, 7, 12]; order preserved
+
+    def test_filter_in_range_empty_input(self, table):
+        table.insert({"pk": 1.0, "x": 2.0, "y": 3.0})
+        result = table.filter_in_range(np.array([], dtype=np.int64), "x", 0, 10)
+        assert result.size == 0
+
+    def test_filter_in_range_unknown_column_raises(self, table):
+        from repro.errors import SchemaError
+        table.insert({"pk": 1.0, "x": 2.0, "y": 3.0})
+        with pytest.raises(SchemaError):
+            table.filter_in_range(np.array([0]), "nope", 0.0, 1.0)
+
+
 class TestStatisticsAndMemory:
     def test_value_range_tracks_min_max(self, table):
         table.insert_many({"pk": np.arange(3.0), "x": np.array([5.0, -1.0, 7.0]),
