@@ -18,6 +18,7 @@ from repro.bench.report import format_figure, format_table
 from repro.bench.timing import scaled
 from repro.engine.catalog import IndexMethod
 from repro.engine.database import Database
+from repro.engine.query import RangePredicate
 from repro.workloads.synthetic import generate_synthetic, load_synthetic
 
 INDEX_COUNTS = [1, 2, 4, 8, 10]
@@ -54,6 +55,11 @@ def with_extra_columns(rows: list[dict], num_indexes: int) -> list[dict]:
             for row in rows]
 
 
+def rows_to_columns(rows: list[dict]) -> dict[str, list[float]]:
+    """Transpose row dicts into the column-oriented ``insert_many`` shape."""
+    return {name: [row[name] for row in rows] for name in rows[0]}
+
+
 @pytest.mark.figure("fig22")
 @pytest.mark.parametrize("method,label", [(IndexMethod.HERMIT, "HERMIT"),
                                           (IndexMethod.BTREE, "Baseline")])
@@ -70,6 +76,53 @@ def test_fig22_insert_benchmark(benchmark, method, label):
             database.insert(table_name, dict(row, colA=9e8 + offset + i))
 
     benchmark.pedantic(insert_batch, rounds=3, iterations=1)
+
+
+@pytest.mark.figure("fig22")
+@pytest.mark.parametrize("method,label", [(IndexMethod.HERMIT, "HERMIT"),
+                                          (IndexMethod.BTREE, "Baseline")])
+def test_fig22_batched_insert_matches_scalar(benchmark, method, label):
+    """Batched ``insert_many`` maintains the same indexes as the scalar loop.
+
+    The Figure 22 scenario (4 maintained new indexes) raced through both
+    write paths: the batch must leave the database in an identical state and
+    must not be slower than inserting the rows one at a time.
+    """
+    rows = with_extra_columns(insertion_rows(scaled(INSERT_BATCH)), 4)
+    columns = rows_to_columns(rows)
+
+    def race():
+        scalar_db, table_name = build_database(method, num_indexes=4)
+        batched_db, _ = build_database(method, num_indexes=4)
+        started = time.perf_counter()
+        for row in rows:
+            scalar_db.insert(table_name, row)
+        scalar_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        batched_db.insert_many(table_name, columns)
+        batched_seconds = time.perf_counter() - started
+        return scalar_db, batched_db, table_name, scalar_seconds, batched_seconds
+
+    scalar_db, batched_db, table_name, scalar_seconds, batched_seconds = (
+        benchmark.pedantic(race, rounds=1, iterations=1)
+    )
+    speedup = scalar_seconds / max(batched_seconds, 1e-12)
+    print(f"\n{label}: scalar {scalar_seconds:.3f}s, batched "
+          f"{batched_seconds:.3f}s, speedup {speedup:.1f}x")
+
+    scalar_entry = scalar_db.catalog.table_entry(table_name)
+    batched_entry = batched_db.catalog.table_entry(table_name)
+    assert scalar_entry.table.num_rows == batched_entry.table.num_rows
+    assert (scalar_entry.primary_index.num_entries
+            == batched_entry.primary_index.num_entries)
+    for low, high in [(0.0, 50_000.0), (400_000.0, 500_000.0)]:
+        predicate = RangePredicate("colE0", low, high)
+        assert (set(map(int, scalar_db.query(table_name, predicate).locations))
+                == set(map(int,
+                           batched_db.query(table_name, predicate).locations)))
+    # Loose bound at bench scale — the full acceptance target lives in
+    # bench_writepath_vectorized.py.
+    assert speedup > 0.8
 
 
 @pytest.mark.figure("fig22")

@@ -1,0 +1,156 @@
+"""CI perf-regression gate over the emitted benchmark JSON records.
+
+The vectorization benchmarks (``bench_hotpath_vectorized.py`` and
+``bench_writepath_vectorized.py``) each emit a JSON record whose
+measurements carry vectorized-vs-scalar speedups.  This gate enforces the
+repo's perf trajectory on every CI run:
+
+* every speedup must stay >= ``--min-speedup`` (default 1.0 — the
+  vectorized path must never be slower than the scalar seed path), and
+* every speedup must not degrade more than ``--tolerance`` (default 30%)
+  relative to the committed baseline ``BENCH_ci_baseline.json``.
+
+Usage::
+
+    # gate current records against the committed baseline
+    python benchmarks/check_regression.py --baseline BENCH_ci_baseline.json \
+        hotpath_ci.json writepath_ci.json
+
+    # regenerate the baseline from fresh records (after an intentional change)
+    python benchmarks/check_regression.py --write-baseline \
+        BENCH_ci_baseline.json hotpath_ci.json writepath_ci.json
+
+Speedups are ratios of two paths measured back-to-back on the same machine,
+so they transfer across hardware far better than absolute throughput —
+which is what makes a committed baseline meaningful on CI runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Which speedup metrics gate which benchmark record.
+GATED_METRICS = {
+    "hotpath_vectorized": ("speedup_vectorized", "speedup_batched"),
+    "writepath_vectorized": ("speedup_batched",),
+}
+# Measurement fields that identify "the same measurement" across runs.
+KEY_FIELDS = ("workload", "mechanism", "pointer_scheme", "host_index")
+
+
+def load_record(path: str) -> dict:
+    """Load one benchmark JSON record, validating its shape."""
+    with open(path, "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    name = record.get("benchmark")
+    if name not in GATED_METRICS:
+        raise SystemExit(
+            f"{path}: unknown benchmark {name!r}; expected one of "
+            f"{sorted(GATED_METRICS)}"
+        )
+    return record
+
+
+def measurement_key(record_name: str, measurement: dict) -> tuple:
+    """Stable identity of one measurement across benchmark runs."""
+    return (record_name,) + tuple(
+        measurement.get(field, "-") for field in KEY_FIELDS
+    )
+
+
+def index_measurements(records: list[dict]) -> dict[tuple, dict]:
+    """Key → measurement over every record's measurement list."""
+    indexed: dict[tuple, dict] = {}
+    for record in records:
+        for measurement in record["measurements"]:
+            indexed[measurement_key(record["benchmark"], measurement)] = (
+                measurement
+            )
+    return indexed
+
+
+def check(records: list[dict], baseline: dict, min_speedup: float,
+          tolerance: float) -> list[str]:
+    """Return a list of failure messages (empty when the gate passes)."""
+    failures: list[str] = []
+    baseline_measurements = index_measurements(baseline.get("records", []))
+    for record in records:
+        metrics = GATED_METRICS[record["benchmark"]]
+        for measurement in record["measurements"]:
+            key = measurement_key(record["benchmark"], measurement)
+            label = "/".join(str(part) for part in key)
+            if not measurement.get("results_agree", True):
+                failures.append(f"{label}: scalar and vectorized paths "
+                                f"returned different results")
+            reference = baseline_measurements.get(key)
+            for metric in metrics:
+                value = measurement.get(metric)
+                if value is None:
+                    failures.append(f"{label}: record is missing {metric}")
+                    continue
+                if value < min_speedup:
+                    failures.append(
+                        f"{label}: {metric} {value:.2f}x fell below the "
+                        f"{min_speedup:.2f}x floor"
+                    )
+                if reference is not None and metric in reference:
+                    floor = (1.0 - tolerance) * reference[metric]
+                    if value < floor:
+                        failures.append(
+                            f"{label}: {metric} {value:.2f}x degraded more "
+                            f"than {tolerance:.0%} vs. baseline "
+                            f"{reference[metric]:.2f}x (floor {floor:.2f}x)"
+                        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("records", nargs="+",
+                        help="benchmark JSON records to gate")
+    parser.add_argument("--baseline", default=None,
+                        help="committed baseline JSON to compare against")
+    parser.add_argument("--write-baseline", default=None, metavar="PATH",
+                        help="write a fresh baseline from the records "
+                             "instead of gating")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="hard floor for every gated speedup (default 1.0)")
+    parser.add_argument("--tolerance", type=float, default=0.3,
+                        help="allowed relative degradation vs. the baseline "
+                             "(default 0.3 = 30%%)")
+    args = parser.parse_args(argv)
+
+    records = [load_record(path) for path in args.records]
+
+    if args.write_baseline:
+        baseline = {"records": records}
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote baseline {args.write_baseline} "
+              f"({sum(len(r['measurements']) for r in records)} measurements)")
+        return 0
+
+    baseline = {}
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+
+    failures = check(records, baseline, args.min_speedup, args.tolerance)
+    if failures:
+        print("perf-regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    gated = sum(len(record["measurements"]) for record in records)
+    print(f"perf-regression gate passed: {gated} measurements, "
+          f"min speedup {args.min_speedup:.2f}x, tolerance "
+          f"{args.tolerance:.0%} vs. "
+          f"{args.baseline or 'no baseline (floor check only)'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -183,6 +183,28 @@ class CorrelationMap:
                                    / self.host_bucket_width))
         self._mapping[target_bucket].add(host_bucket)
 
+    def insert_many(self, columns: dict, locations) -> None:
+        """Batched :meth:`insert`: vectorized bucketing, deduped link adds.
+
+        Both bucket arrays are computed in one vectorized pass and only the
+        *distinct* (target bucket, host bucket) pairs touch the mapping —
+        a bulk insert of correlated rows typically collapses to a handful
+        of set adds.  ``locations`` is accepted for interface uniformity;
+        CM stores no tuple identifiers.
+        """
+        del locations
+        targets = np.asarray(columns[self.target_column], dtype=np.float64)
+        hosts = np.asarray(columns[self.host_column], dtype=np.float64)
+        if targets.size == 0:
+            return
+        target_buckets = np.floor(targets / self.target_bucket_width)
+        host_buckets = np.floor(hosts / self.host_bucket_width)
+        links = np.unique(
+            np.stack([target_buckets, host_buckets], axis=1), axis=0
+        ).astype(np.int64)
+        for target_bucket, host_bucket in links.tolist():
+            self._mapping[target_bucket].add(host_bucket)
+
     def delete(self, row: dict, location: int) -> None:
         """Deletion keeps the mapping unchanged (documented CM limitation)."""
 

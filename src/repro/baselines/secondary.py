@@ -183,6 +183,22 @@ class BaselineSecondaryIndex:
         """Index a newly inserted row."""
         self.index.insert(float(row[self.target_column]), self._tid_for(row, location))
 
+    def insert_many(self, columns: dict, locations: np.ndarray) -> None:
+        """Batched :meth:`insert`: one sorted merge into the B+-tree.
+
+        Args:
+            columns: Column name → aligned value sequence for the new rows.
+            locations: Row locations of the new rows, aligned with the
+                columns.
+        """
+        keys = np.asarray(columns[self.target_column], dtype=np.float64)
+        if self.pointer_scheme is PointerScheme.PHYSICAL:
+            tids = np.asarray(locations, dtype=np.int64)
+        else:
+            tids = np.asarray(columns[self.table.schema.primary_key],
+                              dtype=np.float64)
+        self.index.insert_many(keys, tids)
+
     def delete(self, row: dict, location: int) -> None:
         """Remove an index entry for a deleted row."""
         self.index.delete(float(row[self.target_column]), self._tid_for(row, location))

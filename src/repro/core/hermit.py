@@ -412,6 +412,30 @@ class HermitIndex:
             float(row[self.target_column]), float(row[self.host_column]), tid
         )
 
+    def insert_many(self, columns: dict, locations: np.ndarray) -> None:
+        """Batched :meth:`insert`: column arrays in, one TRS-Tree pass.
+
+        Args:
+            columns: Column name → aligned value sequence for the new rows
+                (must include the target and host columns, plus the primary
+                key under logical pointers).
+            locations: Row locations of the new rows, aligned with the
+                columns.
+        """
+        targets = np.asarray(columns[self.target_column], dtype=np.float64)
+        hosts = np.asarray(columns[self.host_column], dtype=np.float64)
+        self.trs_tree.insert_many(
+            targets, hosts, self._tids_for_batch(columns, locations)
+        )
+
+    def _tids_for_batch(self, columns: dict,
+                        locations: np.ndarray) -> np.ndarray:
+        """Batch counterpart of :meth:`_tid_for`."""
+        if self.pointer_scheme is PointerScheme.PHYSICAL:
+            return np.asarray(locations, dtype=np.int64)
+        return np.asarray(columns[self.table.schema.primary_key],
+                          dtype=np.float64)
+
     def delete(self, row: dict, location: int) -> None:
         """Notify the index that ``row`` at ``location`` was deleted."""
         tid = self._tid_for(row, location)

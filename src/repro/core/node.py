@@ -80,6 +80,10 @@ class TRSLeafNode(TRSNode):
         """Whether the model's confidence band covers ``(target, host)``."""
         return self.model.covers(target_value, host_value)
 
+    def covers_many(self, target_values, host_values):
+        """Vectorised :meth:`covers` over aligned value arrays."""
+        return self.model.covers_many(target_values, host_values)
+
     def add_outlier(self, target_value: float, tid: TupleId) -> None:
         """Store a tuple the model cannot cover."""
         self.outliers.add(target_value, tid)

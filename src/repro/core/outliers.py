@@ -15,7 +15,9 @@ from collections import defaultdict
 from itertools import chain
 from typing import Iterator
 
-from repro.index.base import KeyRange
+import numpy as np
+
+from repro.index.base import KeyRange, tid_items
 from repro.storage.identifiers import TupleId
 from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
 
@@ -43,6 +45,38 @@ class OutlierBuffer:
             bisect.insort(self._sorted_keys, target_value)
         self._entries[target_value].append(tid)
         self._count += 1
+
+    def add_many(self, target_values, tids) -> None:
+        """Batched :meth:`add`: group by value, extend each bucket once.
+
+        The sorted key view is rebuilt with a single merge of two sorted
+        runs instead of one ``insort`` (O(k) memmove) per new key, which is
+        what keeps bulk inserts into noisy leaves linear.
+        """
+        values = np.asarray(target_values, dtype=np.float64)
+        items = tid_items(tids)
+        count = int(values.size)
+        if count == 0:
+            return
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        run_starts = np.concatenate(
+            [[0], np.flatnonzero(np.diff(sorted_values)) + 1]
+        )
+        run_stops = np.concatenate([run_starts[1:], [count]])
+        positions = order.tolist()
+        new_keys: list[float] = []
+        for start, stop in zip(run_starts.tolist(), run_stops.tolist()):
+            value = float(sorted_values[start])
+            if value not in self._entries:
+                new_keys.append(value)
+            self._entries[value].extend(
+                items[positions[index]] for index in range(start, stop)
+            )
+        if new_keys:
+            # Both runs are sorted, so Timsort merges them in one pass.
+            self._sorted_keys = sorted(self._sorted_keys + new_keys)
+        self._count += count
 
     def remove(self, target_value: float, tid: TupleId) -> bool:
         """Remove ``tid`` from the bucket of ``target_value``.

@@ -279,6 +279,53 @@ class TRSTree:
         leaf.num_inserted += 1
         self._maybe_flag_split(leaf)
 
+    def insert_many(self, targets: Sequence[float], hosts: Sequence[float],
+                    tids: Sequence[TupleId]) -> None:
+        """Batched :meth:`insert` (Algorithm 3, column-at-a-time).
+
+        The batch is routed down the tree by partitioning the target array at
+        every internal node with one vectorized arithmetic step (the same
+        clamped equal-width routing as :meth:`TRSInternalNode.child_for`);
+        each reached leaf then classifies its whole run with one
+        ``covers_many`` call and stores only the uncovered tuples, so the
+        per-row Python traversal and per-row model evaluation of the scalar
+        path disappear.
+        """
+        targets = np.asarray(targets, dtype=np.float64)
+        hosts = np.asarray(hosts, dtype=np.float64)
+        tid_array = np.asarray(tids)
+        if not (len(targets) == len(hosts) == len(tid_array)):
+            raise StorageError("targets, hosts and tids must have equal length")
+        if self._root is None or targets.size == 0:
+            return
+        self._insert_many_into(self._root, targets, hosts, tid_array)
+
+    def _insert_many_into(self, node: TRSNode, targets: np.ndarray,
+                          hosts: np.ndarray, tids: np.ndarray) -> None:
+        """Route a batch into the subtree at ``node`` (batched Algorithm 3)."""
+        if node.is_leaf:
+            leaf: TRSLeafNode = node  # type: ignore[assignment]
+            covered = leaf.covers_many(targets, hosts)
+            if not covered.all():
+                leaf.outliers.add_many(targets[~covered], tids[~covered])
+            leaf.num_inserted += int(targets.size)
+            self._maybe_flag_split(leaf)
+            return
+        internal: TRSInternalNode = node  # type: ignore[assignment]
+        fanout = len(internal.children)
+        width = internal.key_range.width
+        if width <= 0 or fanout == 0:
+            indices = np.zeros(targets.size, dtype=np.int64)
+        else:
+            offsets = (targets - internal.key_range.low) / width
+            indices = (offsets * fanout).astype(np.int64)
+            np.clip(indices, 0, fanout - 1, out=indices)
+        for position in range(fanout):
+            mask = indices == position
+            if mask.any():
+                self._insert_many_into(internal.children[position],
+                                       targets[mask], hosts[mask], tids[mask])
+
     def delete(self, target_value: float, host_value: float, tid: TupleId) -> None:
         """Delete a tuple (Algorithm 3).
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.baselines.correlation_maps import CorrelationMap
 from repro.baselines.secondary import BaselineSecondaryIndex
 from repro.core.config import DEFAULT_CONFIG, TRSTreeConfig
@@ -33,7 +35,7 @@ from repro.errors import CatalogError, QueryError
 from repro.index.bptree import BPlusTree
 from repro.storage.identifiers import PointerScheme
 from repro.storage.memory import DEFAULT_SIZE_MODEL, MemoryReport, SizeModel
-from repro.storage.schema import TableSchema
+from repro.storage.schema import DataType, TableSchema
 from repro.storage.table import Table
 
 
@@ -186,34 +188,74 @@ class Database:
     # ------------------------------------------------------------------ DML
 
     def insert(self, table_name: str, row: dict) -> int:
-        """Insert a row, maintaining the primary and all secondary indexes."""
+        """Insert a row, maintaining the primary and all secondary indexes.
+
+        Delegates to :meth:`insert_many` with a batch of one so the scalar
+        and batched write paths cannot drift apart.
+        """
         entry = self.catalog.table_entry(table_name)
-        location = int(entry.table.insert(row))
-        primary_key = row[entry.table.schema.primary_key]
-        entry.primary_index.insert(float(primary_key), location)
-        for index_entry in entry.indexes.values():
-            index_entry.mechanism.insert(row, location)
-        return location
+        entry.table.schema.validate_row(row)
+        return self.insert_many(
+            table_name, {name: [value] for name, value in row.items()}
+        )[0]
 
     def insert_many(self, table_name: str, columns: dict[str, Sequence]) -> list[int]:
-        """Bulk-insert column-oriented data (typically before index creation)."""
+        """Bulk-insert column-oriented data, maintaining all indexes in bulk.
+
+        The batch write path mirrors the vectorized lookup path: one
+        :meth:`Table.insert_many` append, one batched primary-index
+        maintenance step (a bulk load while the primary index is still
+        empty, a sorted merge afterwards) and one column-oriented
+        ``insert_many`` notification per secondary mechanism — no per-row
+        ``fetch`` and no per-row index descent anywhere.
+
+        Returns:
+            The locations of the inserted rows, in insertion order.
+        """
         entry = self.catalog.table_entry(table_name)
-        locations = [int(loc) for loc in entry.table.insert_many(columns)]
-        primary = entry.table.schema.primary_key
-        primary_values = columns[primary]
-        if entry.primary_index.num_entries == 0 and not entry.indexes:
-            entry.primary_index.bulk_load(
-                (float(key), location)
-                for key, location in zip(primary_values, locations)
-            )
+        table = entry.table
+        locations = [int(loc) for loc in table.insert_many(columns)]
+        if not locations:
             return locations
-        for position, location in enumerate(locations):
-            entry.primary_index.insert(float(primary_values[position]), location)
-            if entry.indexes:
-                row = entry.table.fetch(location)
-                for index_entry in entry.indexes.values():
-                    index_entry.mechanism.insert(row, location)
+        location_array = np.asarray(locations, dtype=np.int64)
+        primary = table.schema.primary_key
+        primary_values = np.asarray(columns[primary], dtype=np.float64)
+        if entry.primary_index.num_entries == 0:
+            entry.primary_index.bulk_load(
+                zip(primary_values.tolist(), locations)
+            )
+        else:
+            entry.primary_index.insert_many(primary_values, location_array)
+        if entry.indexes:
+            column_data = self._batch_columns(table, columns, location_array)
+            for index_entry in entry.indexes.values():
+                index_entry.mechanism.insert_many(column_data, location_array)
         return locations
+
+    @staticmethod
+    def _batch_columns(table: Table, columns: dict[str, Sequence],
+                       locations: np.ndarray) -> dict[str, Sequence]:
+        """Complete the supplied columns to the full schema for mechanisms.
+
+        Mechanisms must observe the *stored* rows, exactly like the per-row
+        ``fetch`` notification they replace: supplied values are coerced to
+        the column dtype (storing ``2.7`` into an INT64 column keeps ``2``,
+        and the index must key ``2``, not ``2.7``), and columns the caller
+        omitted (null-filled by the table) are gathered back.  The coercion
+        is a no-copy ``asarray`` whenever the caller already passed the
+        stored dtype.
+        """
+        data: dict[str, Sequence] = {}
+        for column in table.schema:
+            if column.name not in columns:
+                data[column.name] = table.values(locations, column.name)
+            elif column.dtype is DataType.STRING:
+                data[column.name] = columns[column.name]
+            else:
+                data[column.name] = np.asarray(
+                    columns[column.name], dtype=column.dtype.numpy_dtype
+                )
+        return data
 
     def delete(self, table_name: str, location: int) -> None:
         """Delete the row at ``location``, maintaining all indexes."""

@@ -28,6 +28,18 @@ import numpy as np
 from repro.storage.identifiers import TupleId
 
 
+def tid_items(tids: "Sequence[TupleId] | np.ndarray") -> list:
+    """Normalise a tid sequence to native Python objects.
+
+    Index structures store tids inside Python containers (leaf bucket
+    lists, hash buckets, outlier buffers), so numpy scalars are unboxed
+    once up front — the shared first step of every batched write API.
+    """
+    if isinstance(tids, np.ndarray):
+        return tids.tolist()
+    return [tid.item() if hasattr(tid, "item") else tid for tid in tids]
+
+
 @dataclass(frozen=True)
 class KeyRange:
     """A closed interval ``[low, high]`` over an index key domain.
@@ -187,6 +199,19 @@ class Index(abc.ABC):
         if len(arrays) == 1:
             return arrays[0]
         return np.concatenate(arrays)
+
+    def insert_many(self, keys: Sequence[float] | np.ndarray,
+                    tids: Sequence[TupleId] | np.ndarray) -> None:
+        """Batched write: insert every aligned ``keys[i] -> tids[i]`` pair.
+
+        Unlike :meth:`bulk_load`, this is incremental maintenance — the index
+        may already hold entries and keeps them.  The default falls back to a
+        per-pair :meth:`insert` loop; array-native indexes override it with a
+        sort-once merge so bulk writes cost one pass instead of one descent
+        per key.
+        """
+        for key, tid in zip(keys, tid_items(tids)):
+            self.insert(float(key), tid)
 
     def bulk_load(self, pairs: Iterable[tuple[float, TupleId]]) -> None:
         """Insert many (key, tid) pairs; subclasses may override with a faster path."""

@@ -22,7 +22,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.errors import KeyNotFoundError, StorageError
-from repro.index.base import Index, KeyRange
+from repro.index.base import Index, KeyRange, tid_items
 from repro.storage.identifiers import TupleId
 from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
 
@@ -121,6 +121,45 @@ class BPlusTree(Index):
             self._num_entries -= 1
             return
         raise KeyNotFoundError(f"key {key!r} is not in the index")
+
+    def insert_many(self, keys: Sequence[float] | np.ndarray,
+                    tids: Sequence[TupleId] | np.ndarray) -> None:
+        """Batched insert: sort once, merge the run into the leaf level.
+
+        The batch is sorted once and pushed down the tree recursively: each
+        internal node partitions the sorted run among its children with one
+        bisect per separator, and each touched leaf merges its sorted keys
+        with the incoming run in a single two-pointer pass.  Overfull nodes
+        split into however many nodes they need in one step (a batch can
+        overflow a leaf by far more than one key), so the cost is one
+        partition pass plus one merge per touched leaf instead of one root
+        descent per key.
+        """
+        keys = np.asarray(keys, dtype=np.float64)
+        items = tid_items(tids)
+        if keys.size != len(items):
+            raise StorageError("keys and tids must have equal length")
+        if keys.size == 0:
+            return
+        self.stats.inserts += int(keys.size)
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order].tolist()
+        sorted_tids = [items[position] for position in order.tolist()]
+        if self._num_entries == 0:
+            # The tree is empty: packing fresh leaves is strictly better than
+            # merging into the (single, empty) existing leaf.
+            self.bulk_load(zip(sorted_keys, sorted_tids))
+            return
+        splits = self._merge_into(self._root, sorted_keys, sorted_tids)
+        while splits:
+            new_root = _InternalNode()
+            new_root.keys = [separator for separator, _ in splits]
+            new_root.children = [self._root] + [node for _, node in splits]
+            self._root = new_root
+            self._height += 1
+            splits = (self._multi_split_internal(new_root)
+                      if len(new_root.keys) > self.node_capacity else None)
+        self._num_entries += int(keys.size)
 
     def bulk_load(self, pairs: Iterable[tuple[float, TupleId]]) -> None:
         """Build the tree from (key, tid) pairs.
@@ -324,6 +363,98 @@ class BPlusTree(Index):
         if len(leaf.keys) <= self.node_capacity:
             return None
         return self._split_leaf(leaf)
+
+    def _merge_into(self, node: _Node, keys: list[float],
+                    tids: list[TupleId]) -> list[tuple[float, _Node]] | None:
+        """Merge a sorted (keys, tids) run into the subtree rooted at ``node``.
+
+        Returns the (separator, new right sibling) pairs the caller must
+        splice in, ascending — ``None`` when the node absorbed the run
+        without splitting.  Unlike ``_insert_into`` this may return several
+        siblings at once.
+        """
+        if node.is_leaf:
+            return self._merge_into_leaf(node, keys, tids)  # type: ignore[arg-type]
+        internal: _InternalNode = node  # type: ignore[assignment]
+        # Child c receives keys k with separators[c-1] <= k < separators[c],
+        # matching the bisect_right descent of the scalar insert.
+        boundaries = [bisect.bisect_left(keys, separator)
+                      for separator in internal.keys]
+        starts = [0] + boundaries
+        stops = boundaries + [len(keys)]
+        # Walk children right-to-left so splice positions stay valid while
+        # separators/children are inserted.
+        for position in range(len(internal.children) - 1, -1, -1):
+            start, stop = starts[position], stops[position]
+            if start == stop:
+                continue
+            splits = self._merge_into(internal.children[position],
+                                      keys[start:stop], tids[start:stop])
+            if splits:
+                internal.keys[position:position] = [s for s, _ in splits]
+                internal.children[position + 1:position + 1] = [
+                    n for _, n in splits
+                ]
+        if len(internal.keys) <= self.node_capacity:
+            return None
+        return self._multi_split_internal(internal)
+
+    def _merge_into_leaf(self, leaf: _LeafNode, keys: list[float],
+                         tids: list[TupleId]) -> list[tuple[float, _Node]] | None:
+        """Two-pointer merge of a sorted run into one leaf, multi-splitting."""
+        merged_keys: list[float] = []
+        merged_values: list[list[TupleId]] = []
+        existing_keys, existing_values = leaf.keys, leaf.values
+        i = j = 0
+        n, m = len(existing_keys), len(keys)
+        while i < n or j < m:
+            if j >= m or (i < n and existing_keys[i] <= keys[j]):
+                merged_keys.append(existing_keys[i])
+                merged_values.append(existing_values[i])
+                i += 1
+            elif merged_keys and merged_keys[-1] == keys[j]:
+                merged_values[-1].append(tids[j])
+                j += 1
+            else:
+                merged_keys.append(keys[j])
+                merged_values.append([tids[j]])
+                j += 1
+        if len(merged_keys) <= self.node_capacity:
+            leaf.keys, leaf.values = merged_keys, merged_values
+            return None
+        fill = max(4, int(self.node_capacity * 0.7))
+        leaf.keys = merged_keys[:fill]
+        leaf.values = merged_values[:fill]
+        tail = leaf.next_leaf
+        siblings: list[tuple[float, _Node]] = []
+        previous = leaf
+        for start in range(fill, len(merged_keys), fill):
+            sibling = _LeafNode()
+            sibling.keys = merged_keys[start:start + fill]
+            sibling.values = merged_values[start:start + fill]
+            previous.next_leaf = sibling
+            siblings.append((sibling.keys[0], sibling))
+            previous = sibling
+        previous.next_leaf = tail
+        return siblings
+
+    def _multi_split_internal(self, node: _InternalNode) -> list[tuple[float, _Node]]:
+        """Split an overfull internal node into as many nodes as needed."""
+        fill = max(4, int(self.node_capacity * 0.7))
+        all_keys, all_children = node.keys, node.children
+        step = fill + 1  # children per resulting node
+        node.keys = all_keys[:fill]
+        node.children = all_children[:step]
+        siblings: list[tuple[float, _Node]] = []
+        for start in range(step, len(all_children), step):
+            stop = min(len(all_children), start + step)
+            sibling = _InternalNode()
+            sibling.children = all_children[start:stop]
+            sibling.keys = all_keys[start:start + (stop - start) - 1]
+            # all_keys[start - 1] separates the previous group's last child
+            # from this group's first child; it is promoted to the parent.
+            siblings.append((all_keys[start - 1], sibling))
+        return siblings
 
     def _split_leaf(self, leaf: _LeafNode) -> tuple[float, _Node]:
         middle = len(leaf.keys) // 2

@@ -18,8 +18,8 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.errors import KeyNotFoundError
-from repro.index.base import Index, KeyRange
+from repro.errors import KeyNotFoundError, StorageError
+from repro.index.base import Index, KeyRange, tid_items
 from repro.storage.identifiers import TupleId
 from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
 
@@ -38,6 +38,36 @@ class HashIndex(Index):
         self.stats.inserts += 1
         self._buckets[key].append(tid)
         self._num_entries += 1
+
+    def insert_many(self, keys: Sequence[float] | np.ndarray,
+                    tids: Sequence[TupleId] | np.ndarray) -> None:
+        """Batched insert: group by key, extend each bucket once.
+
+        One argsort finds the equal-key runs, so a bucket receiving many
+        tids is touched with a single ``extend`` instead of one dict probe
+        and append per pair.
+        """
+        keys = np.asarray(keys, dtype=np.float64)
+        items = tid_items(tids)
+        if keys.size != len(items):
+            raise StorageError("keys and tids must have equal length")
+        count = int(keys.size)
+        if count == 0:
+            return
+        self.stats.inserts += count
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        run_starts = np.concatenate(
+            [[0], np.flatnonzero(np.diff(sorted_keys)) + 1]
+        )
+        run_stops = np.concatenate([run_starts[1:], [count]])
+        positions = order.tolist()
+        buckets = self._buckets
+        for start, stop in zip(run_starts.tolist(), run_stops.tolist()):
+            buckets[float(sorted_keys[start])].extend(
+                items[positions[index]] for index in range(start, stop)
+            )
+        self._num_entries += count
 
     def delete(self, key: float, tid: TupleId) -> None:
         """Remove one occurrence of ``key -> tid``.

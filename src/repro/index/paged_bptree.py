@@ -14,12 +14,14 @@ Node payloads are stored as the single "row" of their page:
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import bisect
 
-from repro.errors import KeyNotFoundError
-from repro.index.base import Index, KeyRange
+import numpy as np
+
+from repro.errors import KeyNotFoundError, StorageError
+from repro.index.base import Index, KeyRange, tid_items
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.identifiers import TupleId
 from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
@@ -92,6 +94,39 @@ class PagedBPlusTree(Index):
             self._num_nodes += 1
             self._height += 1
         self._num_entries += 1
+
+    def insert_many(self, keys: Sequence[float] | np.ndarray,
+                    tids: Sequence[TupleId] | np.ndarray) -> None:
+        """Batched insert: sort once, merge into leaf pages run by run.
+
+        The paged counterpart of :meth:`BPlusTree.insert_many`: the sorted
+        batch is partitioned down the tree, every touched leaf page is read
+        and written exactly once (instead of once per key), and overfull
+        pages split into as many new pages as the batch requires.
+        """
+        keys = np.asarray(keys, dtype=np.float64)
+        items = tid_items(tids)
+        if keys.size != len(items):
+            raise StorageError("keys and tids must have equal length")
+        if keys.size == 0:
+            return
+        self.stats.inserts += int(keys.size)
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order].tolist()
+        sorted_tids = [items[position] for position in order.tolist()]
+        splits = self._merge_into_page(self._root_page, sorted_keys, sorted_tids)
+        while splits:
+            old_root = self._root_page
+            separators = [separator for separator, _ in splits]
+            children = [old_root] + [page for _, page in splits]
+            self._root_page = self._new_node(_INTERNAL, separators, children, None)
+            self._num_nodes += 1
+            self._height += 1
+            if len(separators) > self.node_capacity:
+                splits = self._multi_split_internal_page(self._root_page)
+            else:
+                splits = None
+        self._num_entries += int(keys.size)
 
     def delete(self, key: float, tid: TupleId) -> None:
         """Remove one occurrence of ``key -> tid``.
@@ -226,6 +261,101 @@ class PagedBPlusTree(Index):
             self._write_node(page_id, kind, keys, payload, None)
             return None
         return self._split_internal(page_id, keys, payload)
+
+    def _merge_into_page(self, page_id: int, keys: list[float],
+                         tids: list) -> list[tuple[float, int]] | None:
+        """Merge a sorted run into the subtree at ``page_id`` (batch insert).
+
+        Returns ascending (separator, new page id) pairs for the caller to
+        splice in, or ``None`` when the page absorbed the run.
+        """
+        kind, node_keys, payload, next_leaf = self._read_node(page_id)
+        if kind == _LEAF:
+            return self._merge_into_leaf_page(page_id, node_keys, payload,
+                                              next_leaf, keys, tids)
+        boundaries = [bisect.bisect_left(keys, separator)
+                      for separator in node_keys]
+        starts = [0] + boundaries
+        stops = boundaries + [len(keys)]
+        changed = False
+        for position in range(len(payload) - 1, -1, -1):
+            start, stop = starts[position], stops[position]
+            if start == stop:
+                continue
+            splits = self._merge_into_page(payload[position],
+                                           keys[start:stop], tids[start:stop])
+            if splits:
+                node_keys[position:position] = [s for s, _ in splits]
+                payload[position + 1:position + 1] = [p for _, p in splits]
+                changed = True
+        if len(node_keys) <= self.node_capacity:
+            if changed:
+                self._write_node(page_id, _INTERNAL, node_keys, payload, None)
+            return None
+        self._write_node(page_id, _INTERNAL, node_keys, payload, None)
+        return self._multi_split_internal_page(page_id)
+
+    def _merge_into_leaf_page(self, page_id: int, node_keys: list,
+                              node_values: list, next_leaf: int | None,
+                              keys: list[float],
+                              tids: list) -> list[tuple[float, int]] | None:
+        """Two-pointer merge into one leaf page, multi-splitting if overfull."""
+        merged_keys: list[float] = []
+        merged_values: list[list[TupleId]] = []
+        i = j = 0
+        n, m = len(node_keys), len(keys)
+        while i < n or j < m:
+            if j >= m or (i < n and node_keys[i] <= keys[j]):
+                merged_keys.append(node_keys[i])
+                merged_values.append(node_values[i])
+                i += 1
+            elif merged_keys and merged_keys[-1] == keys[j]:
+                merged_values[-1].append(tids[j])
+                j += 1
+            else:
+                merged_keys.append(keys[j])
+                merged_values.append([tids[j]])
+                j += 1
+        if len(merged_keys) <= self.node_capacity:
+            self._write_node(page_id, _LEAF, merged_keys, merged_values,
+                             next_leaf)
+            return None
+        fill = max(4, int(self.node_capacity * 0.7))
+        chunk_starts = list(range(fill, len(merged_keys), fill))
+        # Build the new right siblings back-to-front so each page can be
+        # created with its successor's id already known.
+        successor = next_leaf
+        siblings: list[tuple[float, int]] = []
+        for start in reversed(chunk_starts):
+            new_page = self._new_node(
+                _LEAF, merged_keys[start:start + fill],
+                merged_values[start:start + fill], successor,
+            )
+            self._num_nodes += 1
+            siblings.append((merged_keys[start], new_page))
+            successor = new_page
+        siblings.reverse()
+        self._write_node(page_id, _LEAF, merged_keys[:fill],
+                         merged_values[:fill], successor)
+        return siblings
+
+    def _multi_split_internal_page(self, page_id: int) -> list[tuple[float, int]]:
+        """Split an overfull internal page into as many pages as needed."""
+        kind, all_keys, all_children, _ = self._read_node(page_id)
+        fill = max(4, int(self.node_capacity * 0.7))
+        step = fill + 1  # children per resulting page
+        siblings: list[tuple[float, int]] = []
+        for start in range(step, len(all_children), step):
+            stop = min(len(all_children), start + step)
+            new_page = self._new_node(
+                _INTERNAL, all_keys[start:start + (stop - start) - 1],
+                all_children[start:stop], None,
+            )
+            self._num_nodes += 1
+            siblings.append((all_keys[start - 1], new_page))
+        self._write_node(page_id, kind, all_keys[:fill], all_children[:step],
+                         None)
+        return siblings
 
     def _split_leaf(self, page_id: int, keys: list, values: list,
                     next_leaf: int | None) -> tuple[float, int]:

@@ -13,7 +13,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro.errors import StorageError, TupleNotFoundError
+from repro.errors import SchemaError, StorageError, TupleNotFoundError
 from repro.storage.identifiers import RowLocation
 from repro.storage.memory import DEFAULT_SIZE_MODEL, MemoryReport, SizeModel
 from repro.storage.schema import ColumnStatistics, DataType, TableSchema
@@ -89,6 +89,12 @@ class Table:
             if name not in self.schema:
                 raise StorageError(
                     f"insert_many references unknown column {name!r}"
+                )
+        for column in self.schema:
+            if column.name not in rows and not column.nullable:
+                raise SchemaError(
+                    f"insert_many is missing non-nullable column "
+                    f"{column.name!r}"
                 )
         start = self._next_slot
         self._reserve(start + count)

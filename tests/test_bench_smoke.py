@@ -15,14 +15,17 @@ import numpy as np
 import pytest
 
 from repro.bench.hotpath import build_hotpath_setup, run_hotpath_suite
+from repro.bench.writepath import run_writepath_suite
 from repro.index.base import Index
 from repro.index.bptree import BPlusTree
 from repro.index.hash_index import HashIndex
+from repro.index.paged_bptree import PagedBPlusTree
 from repro.index.sorted_column import SortedColumnIndex
 from repro.storage.identifiers import PointerScheme
 
 SMOKE_ROWS = 4_000
 SMOKE_QUERIES = 8
+SMOKE_INSERTS = 1_200
 
 
 @pytest.mark.bench_smoke
@@ -39,6 +42,13 @@ class TestVectorizedPathNotFallback:
     def test_hash_index_overrides_batched_search(self):
         assert "search_many" in HashIndex.__dict__
         assert HashIndex.search_many is not Index.search_many
+
+    def test_indexes_override_batched_write(self):
+        """Every concrete index keeps a real (non-fallback) insert_many."""
+        for index_class in (BPlusTree, SortedColumnIndex, HashIndex,
+                            PagedBPlusTree):
+            assert "insert_many" in index_class.__dict__
+            assert index_class.insert_many is not Index.insert_many
 
     @pytest.mark.parametrize("scheme", [PointerScheme.PHYSICAL,
                                         PointerScheme.LOGICAL])
@@ -76,6 +86,23 @@ class TestHotpathSmokeRun:
             host_index_kind="sorted",
         )
         assert all(m.results_agree for m in measurements)
+
+
+@pytest.mark.bench_smoke
+class TestWritepathSmokeRun:
+    @pytest.mark.parametrize("scheme", [PointerScheme.PHYSICAL,
+                                        PointerScheme.LOGICAL])
+    def test_scalar_and_batched_writes_agree_at_tiny_scale(self, scheme):
+        measurements = run_writepath_suite(
+            workloads=("synthetic",), insert_rows=SMOKE_INSERTS,
+            pointer_scheme=scheme,
+        )
+        assert len(measurements) == 2  # HERMIT + Baseline
+        assert all(m.results_agree for m in measurements)
+        assert all(m.total_results > 0 for m in measurements)
+        # At tiny scale just require the batch path not to collapse; the 5x
+        # acceptance target applies to the full-scale standalone run.
+        assert all(m.speedup_batched > 0.5 for m in measurements)
 
 
 def _mid_range(setup) -> tuple[float, float]:

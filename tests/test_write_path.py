@@ -1,0 +1,286 @@
+"""Write-path equivalence tests.
+
+The batched write API is a pure optimisation: for any data, any batch and
+either pointer scheme, maintaining the indexes through ``insert_many`` must
+leave every structure with exactly the same contents as the per-row scalar
+loop — at the index level (same entries in the same key order), at the
+mechanism level (same lookup answers for Hermit, the baseline secondary
+index and the Correlation Map) and at the engine level (same query results
+through ``Database``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.catalog import IndexMethod
+from repro.engine.database import Database
+from repro.engine.query import RangePredicate
+from repro.errors import SchemaError, StorageError
+from repro.index.base import Index, KeyRange
+from repro.index.bptree import BPlusTree
+from repro.index.hash_index import HashIndex
+from repro.index.paged_bptree import PagedBPlusTree
+from repro.index.sorted_column import SortedColumnIndex
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.identifiers import PointerScheme
+from repro.storage.schema import Column, DataType, TableSchema, numeric_schema
+from repro.storage.table import Table
+
+SETTINGS = settings(max_examples=15, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+INDEX_FACTORIES = {
+    "bptree": lambda: BPlusTree(node_capacity=8),
+    "sorted": SortedColumnIndex,
+    "hash": HashIndex,
+    "paged": lambda: PagedBPlusTree(BufferPool(DiskManager(), capacity=64),
+                                    node_capacity=8),
+}
+
+key_batches = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+    min_size=0, max_size=120,
+)
+
+
+class TestIndexInsertManyEquivalence:
+    """``Index.insert_many`` must match a scalar ``insert`` loop exactly."""
+
+    @SETTINGS
+    @pytest.mark.parametrize("kind", sorted(INDEX_FACTORIES))
+    @given(base=key_batches, batch=key_batches)
+    def test_matches_scalar_loop(self, kind, base, batch):
+        reference = INDEX_FACTORIES[kind]()
+        batched = INDEX_FACTORIES[kind]()
+        for position, key in enumerate(base):
+            reference.insert(key, position)
+            batched.insert(key, position)
+        for position, key in enumerate(batch):
+            reference.insert(key, 1_000 + position)
+        batched.insert_many(np.asarray(batch, dtype=np.float64),
+                            np.arange(1_000, 1_000 + len(batch)))
+
+        assert batched.num_entries == reference.num_entries
+        assert sorted(batched.items()) == sorted(reference.items())
+        if kind != "hash":
+            batched_keys = [key for key, _ in batched.items()]
+            assert batched_keys == sorted(batched_keys)
+        for key_range in (KeyRange(-100.0, 100.0), KeyRange(0.0, 10.0),
+                          KeyRange(5.0, 5.0)):
+            assert (sorted(batched.range_search(key_range))
+                    == sorted(reference.range_search(key_range)))
+
+    def test_batch_into_empty_tree_packs_leaves(self):
+        tree = BPlusTree(node_capacity=8)
+        keys = np.linspace(0.0, 1.0, 500)
+        tree.insert_many(keys, np.arange(500))
+        assert tree.num_entries == 500
+        assert len(tree.range_search_array(KeyRange(0.0, 1.0))) == 500
+
+    def test_batch_larger_than_tree_splits_correctly(self):
+        tree = BPlusTree(node_capacity=8)
+        tree.insert(0.5, 0)
+        rng = np.random.default_rng(3)
+        keys = rng.uniform(0.0, 1.0, 2_000)
+        tree.insert_many(keys, np.arange(1, 2_001))
+        assert tree.num_entries == 2_001
+        found = tree.range_search_array(KeyRange(0.0, 1.0))
+        assert len(found) == 2_001
+        assert set(found.tolist()) == set(range(2_001))
+
+    def test_length_mismatch_raises(self):
+        for kind in sorted(INDEX_FACTORIES):
+            index = INDEX_FACTORIES[kind]()
+            with pytest.raises(StorageError):
+                index.insert_many([1.0, 2.0], [0])
+
+    def test_base_fallback_is_used_by_plain_indexes(self):
+        """The Index base class provides a scalar-loop fallback."""
+
+        class MinimalIndex(HashIndex):
+            insert_many = Index.insert_many
+
+        index = MinimalIndex()
+        index.insert_many([1.0, 1.0, 2.0], np.arange(3))
+        assert index.num_entries == 3
+        assert sorted(index.search(1.0)) == [0, 1]
+
+
+correlated_rows = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        st.floats(min_value=-500.0, max_value=500.0, allow_nan=False),
+        st.booleans(),
+    ),
+    min_size=4,
+    max_size=120,
+)
+
+
+def _columns_for(rows, start_pk: int):
+    targets = np.asarray([t for t, _, _ in rows], dtype=np.float64)
+    hosts = np.asarray(
+        [3.0 * t - 7.0 + (noise if noisy else 0.0) for t, noise, noisy in rows],
+        dtype=np.float64,
+    )
+    pks = np.arange(start_pk, start_pk + len(rows), dtype=np.float64)
+    return {"pk": pks, "host": hosts, "target": targets}
+
+
+def _build_database(scheme: PointerScheme, base_columns) -> Database:
+    database = Database(pointer_scheme=scheme)
+    database.create_table(numeric_schema("t", ["pk", "host", "target"],
+                                         primary_key="pk"))
+    database.insert_many("t", base_columns)
+    database.create_index("idx_host", "t", "host",
+                          method=IndexMethod.BTREE, preexisting=True)
+    database.create_index("idx_hermit", "t", "target",
+                          method=IndexMethod.HERMIT, host_column="host")
+    database.create_index("idx_baseline", "t", "target",
+                          method=IndexMethod.BTREE)
+    database.create_index("idx_cm", "t", "target",
+                          method=IndexMethod.CORRELATION_MAP,
+                          host_column="host",
+                          cm_target_bucket_width=64.0,
+                          cm_host_bucket_width=192.0)
+    return database
+
+
+class TestDatabaseWritePathEquivalence:
+    """Scalar ``insert`` loop and ``insert_many`` are indistinguishable."""
+
+    @SETTINGS
+    @given(base=correlated_rows, batch=correlated_rows,
+           scheme=st.sampled_from([PointerScheme.PHYSICAL,
+                                   PointerScheme.LOGICAL]))
+    def test_identical_indexes_and_lookups(self, base, batch, scheme):
+        base_columns = _columns_for(base, 0)
+        batch_columns = _columns_for(batch, len(base))
+        scalar_db = _build_database(scheme, base_columns)
+        batched_db = _build_database(scheme, base_columns)
+
+        names = list(batch_columns)
+        for values in zip(*(batch_columns[name] for name in names)):
+            scalar_db.insert("t", dict(zip(names, values)))
+        batched_db.insert_many("t", batch_columns)
+
+        scalar_entry = scalar_db.catalog.table_entry("t")
+        batched_entry = batched_db.catalog.table_entry("t")
+        assert (list(scalar_entry.primary_index.items())
+                == list(batched_entry.primary_index.items()))
+        scalar_secondary = scalar_entry.indexes["idx_baseline"].mechanism.index
+        batched_secondary = batched_entry.indexes["idx_baseline"].mechanism.index
+        assert (sorted(scalar_secondary.items())
+                == sorted(batched_secondary.items()))
+        hermit_scalar = scalar_entry.indexes["idx_hermit"].mechanism
+        hermit_batched = batched_entry.indexes["idx_hermit"].mechanism
+        assert (hermit_scalar.trs_tree.num_outliers
+                == hermit_batched.trs_tree.num_outliers)
+        assert (batched_entry.indexes["idx_cm"].mechanism.num_bucket_links
+                == scalar_entry.indexes["idx_cm"].mechanism.num_bucket_links)
+
+        for index_name in ("idx_hermit", "idx_baseline", "idx_cm"):
+            for low, high in ((0.0, 1000.0), (250.0, 500.0), (999.0, 999.0)):
+                predicate = RangePredicate("target", low, high)
+                scalar_found = scalar_db.query_with("t", index_name, predicate)
+                batched_found = batched_db.query_with("t", index_name,
+                                                      predicate)
+                assert (set(map(int, scalar_found.locations))
+                        == set(map(int, batched_found.locations)))
+
+    def test_insert_delegates_to_batch_path(self, linear_database):
+        """A single-row insert maintains every index through the batch path."""
+        database, table_name = linear_database
+        location = database.insert(table_name, {
+            "colA": 1e9, "colB": 2.0 * 123_456.0 + 10.0,
+            "colC": 123_456.0, "colD": 0.5,
+        })
+        result = database.query(table_name,
+                                RangePredicate("colC", 123_456.0, 123_456.0))
+        assert location in set(map(int, result.locations))
+
+    def test_insert_rejects_unknown_and_missing_columns(self, linear_database):
+        database, table_name = linear_database
+        with pytest.raises(SchemaError):
+            database.insert(table_name, {"colA": 1.0, "colB": 1.0,
+                                         "colC": 1.0, "colD": 1.0,
+                                         "bogus": 1.0})
+        with pytest.raises(SchemaError):
+            database.insert(table_name, {"colA": 1.0})
+
+
+class TestBulkLoadBranchConsistency:
+    """The empty-primary-index bulk-load branch must notify mechanisms."""
+
+    def test_mechanisms_see_rows_bulk_loaded_into_empty_table(self):
+        database = Database()
+        database.create_table(numeric_schema("t", ["pk", "host", "target"],
+                                             primary_key="pk"))
+        database.create_index("idx_host", "t", "host",
+                              method=IndexMethod.BTREE, preexisting=True)
+        database.create_index("idx_hermit", "t", "target",
+                              method=IndexMethod.HERMIT, host_column="host")
+        targets = np.linspace(0.0, 100.0, 50)
+        database.insert_many("t", {
+            "pk": np.arange(50, dtype=np.float64),
+            "host": 2.0 * targets + 1.0,
+            "target": targets,
+        })
+        entry = database.catalog.table_entry("t")
+        assert entry.primary_index.num_entries == 50
+        for index_name in ("idx_host", "idx_hermit"):
+            predicate = (RangePredicate("host", 0.0, 300.0)
+                         if index_name == "idx_host"
+                         else RangePredicate("target", 0.0, 100.0))
+            found = database.query_with("t", index_name, predicate)
+            assert len(found.locations) == 50
+
+    def test_table_insert_many_rejects_missing_non_nullable_column(self):
+        schema = TableSchema("t", [Column("pk"), Column("x"),
+                                   Column("y", nullable=True)],
+                             primary_key="pk")
+        table = Table(schema)
+        with pytest.raises(SchemaError):
+            table.insert_many({"pk": [1.0]})
+        locations = table.insert_many({"pk": [1.0], "x": [2.0]})
+        assert len(locations) == 1
+        assert np.isnan(table.value(locations[0], "y"))
+
+    def test_mechanisms_index_stored_values_not_supplied_values(self):
+        """Batch notifications must carry the dtype-coerced stored values.
+
+        Storing 2.7 into an INT64 column keeps 2; the secondary index must
+        key 2 as well (the per-row path notified mechanisms from ``fetch``,
+        which returned the stored value).
+        """
+        schema = TableSchema("t", [Column("pk"),
+                                   Column("target", dtype=DataType.INT64)],
+                             primary_key="pk")
+        database = Database()
+        database.create_table(schema)
+        database.create_index("idx_target", "t", "target",
+                              method=IndexMethod.BTREE)
+        database.insert_many("t", {"pk": [1.0, 2.0], "target": [2.7, 5.2]})
+        stored = database.query_with(
+            "t", "idx_target", RangePredicate("target", 2.0, 2.0)
+        )
+        assert len(stored.locations) == 1
+        supplied = database.query_with(
+            "t", "idx_target", RangePredicate("target", 2.7, 2.7)
+        )
+        assert len(supplied.locations) == 0
+
+    def test_second_batch_merges_instead_of_bulk_loading(self):
+        database = Database()
+        database.create_table(numeric_schema("t", ["pk", "x"],
+                                             primary_key="pk"))
+        database.insert_many("t", {"pk": [1.0, 2.0], "x": [10.0, 20.0]})
+        database.insert_many("t", {"pk": [3.0], "x": [30.0]})
+        entry = database.catalog.table_entry("t")
+        assert entry.primary_index.num_entries == 3
+        assert [key for key, _ in entry.primary_index.items()] == [1.0, 2.0, 3.0]
