@@ -1,13 +1,16 @@
 """CI perf-regression gate over the emitted benchmark JSON records.
 
-The vectorization benchmarks (``bench_hotpath_vectorized.py`` and
-``bench_writepath_vectorized.py``) each emit a JSON record whose
-measurements carry vectorized-vs-scalar speedups.  This gate enforces the
-repo's perf trajectory on every CI run:
+The vectorization benchmarks (``bench_hotpath_vectorized.py``,
+``bench_writepath_vectorized.py``) emit JSON records whose measurements
+carry vectorized-vs-scalar speedups, and ``bench_planner.py`` emits
+planner-vs-manual-plan ratios plus the paged leaf-run-gather speedup.  This
+gate enforces the repo's perf trajectory on every CI run:
 
-* every speedup must stay >= ``--min-speedup`` (default 1.0 — the
-  vectorized path must never be slower than the scalar seed path), and
-* every speedup must not degrade more than ``--tolerance`` (default 30%)
+* every gated metric must stay >= its floor (``--min-speedup``, default
+  1.0, unless ``GATED_METRICS`` pins an explicit per-metric floor — the
+  planner ratios use 0.9, i.e. "never slower than 1.1x the best manual
+  plan"), and
+* every metric must not degrade more than ``--tolerance`` (default 30%)
   relative to the committed baseline ``BENCH_ci_baseline.json``.
 
 Usage::
@@ -31,26 +34,43 @@ import argparse
 import json
 import sys
 
-# Which speedup metrics gate which benchmark record.
+# Which speedup metrics gate which benchmark record.  The floor is an
+# explicit per-metric minimum; ``None`` falls back to ``--min-speedup``.
+# The planner ratios race two full engine call paths against each other, so
+# their floor is 0.9 — "never slower than 1.1x the best manual plan" — while
+# the vectorization speedups keep the hard >= 1.0 floor.  The paged gather
+# also floors at 0.9: its honest CI-size margin is ~1.1-1.2x (page reads
+# dominate both paths), which sits within runner noise of a hard 1.0 floor
+# — the same reason the stock workload is excluded from the hotpath gate;
+# the 30% baseline tolerance still catches a real regression.
 GATED_METRICS = {
-    "hotpath_vectorized": ("speedup_vectorized", "speedup_batched"),
-    "writepath_vectorized": ("speedup_batched",),
+    "hotpath_vectorized": {"speedup_vectorized": None, "speedup_batched": None},
+    "writepath_vectorized": {"speedup_batched": None},
+    "planner": {"speedup_vs_best": 0.9, "speedup_vs_worst": 0.9},
+    "planner_point": {"speedup_vs_worst": 0.9},
+    "paged_read": {"speedup_gather": 0.9},
 }
 # Measurement fields that identify "the same measurement" across runs.
 KEY_FIELDS = ("workload", "mechanism", "pointer_scheme", "host_index")
 
 
-def load_record(path: str) -> dict:
-    """Load one benchmark JSON record, validating its shape."""
+def load_records(path: str) -> list[dict]:
+    """Load benchmark JSON records from one file, validating their shape.
+
+    A file holds either a single record or — like the committed baseline —
+    a ``{"records": [...]}`` bundle.
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        record = json.load(handle)
-    name = record.get("benchmark")
-    if name not in GATED_METRICS:
-        raise SystemExit(
-            f"{path}: unknown benchmark {name!r}; expected one of "
-            f"{sorted(GATED_METRICS)}"
-        )
-    return record
+        payload = json.load(handle)
+    records = payload["records"] if "records" in payload else [payload]
+    for record in records:
+        name = record.get("benchmark")
+        if name not in GATED_METRICS:
+            raise SystemExit(
+                f"{path}: unknown benchmark {name!r}; expected one of "
+                f"{sorted(GATED_METRICS)}"
+            )
+    return records
 
 
 def measurement_key(record_name: str, measurement: dict) -> tuple:
@@ -82,18 +102,20 @@ def check(records: list[dict], baseline: dict, min_speedup: float,
             key = measurement_key(record["benchmark"], measurement)
             label = "/".join(str(part) for part in key)
             if not measurement.get("results_agree", True):
-                failures.append(f"{label}: scalar and vectorized paths "
-                                f"returned different results")
+                failures.append(f"{label}: the raced paths returned "
+                                f"different results")
             reference = baseline_measurements.get(key)
-            for metric in metrics:
+            for metric, metric_floor in metrics.items():
+                floor_value = (metric_floor if metric_floor is not None
+                               else min_speedup)
                 value = measurement.get(metric)
                 if value is None:
                     failures.append(f"{label}: record is missing {metric}")
                     continue
-                if value < min_speedup:
+                if value < floor_value:
                     failures.append(
                         f"{label}: {metric} {value:.2f}x fell below the "
-                        f"{min_speedup:.2f}x floor"
+                        f"{floor_value:.2f}x floor"
                     )
                 if reference is not None and metric in reference:
                     floor = (1.0 - tolerance) * reference[metric]
@@ -122,7 +144,8 @@ def main(argv=None) -> int:
                              "(default 0.3 = 30%%)")
     args = parser.parse_args(argv)
 
-    records = [load_record(path) for path in args.records]
+    records = [record for path in args.records
+               for record in load_records(path)]
 
     if args.write_baseline:
         baseline = {"records": records}

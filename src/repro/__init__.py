@@ -27,7 +27,14 @@ from repro.core import (
     TRSTree,
     TRSTreeConfig,
 )
-from repro.engine import Database, IndexMethod, QueryResult, RangePredicate
+from repro.engine import (
+    ConjunctiveQuery,
+    Database,
+    IndexMethod,
+    QueryResult,
+    RangePredicate,
+    conjunction,
+)
 from repro.index import BPlusTree, KeyRange
 from repro.storage import PointerScheme, Table, TableSchema, numeric_schema
 
@@ -35,6 +42,7 @@ __version__ = "0.1.0"
 
 __all__ = [
     "BPlusTree",
+    "ConjunctiveQuery",
     "DEFAULT_CONFIG",
     "Database",
     "HermitIndex",
@@ -45,6 +53,7 @@ __all__ = [
     "PointerScheme",
     "QueryResult",
     "RangePredicate",
+    "conjunction",
     "TRSTree",
     "TRSTreeConfig",
     "Table",

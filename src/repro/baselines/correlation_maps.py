@@ -155,6 +155,44 @@ class CorrelationMap:
         """Answer ``target_column == value``."""
         return self.lookup_range(value, value)
 
+    # ------------------------------------------------------ planner interface
+
+    def candidate_tids(self, key_range: KeyRange,
+                       breakdown: LookupBreakdown) -> np.ndarray:
+        """Candidate tids for the planner: bucket expansion + host probes only."""
+        started = time.perf_counter()
+        host_ranges = self._host_ranges_for(key_range)
+        breakdown.trs_seconds += time.perf_counter() - started
+
+        started = time.perf_counter()
+        tids = self.host_index.range_search_many_array(host_ranges)
+        if tids.size:
+            tids = np.unique(tids)
+        breakdown.host_index_seconds += time.perf_counter() - started
+        return tids
+
+    # Assumed host-side candidate inflation of the bucket mapping: every
+    # covered target bucket drags in whole host buckets, which typically
+    # over-fetches more than Hermit's regression ranges do — this is what
+    # ranks CM after Hermit under default statistics, exactly like the
+    # pre-planner executor's fixed preference order.
+    DEFAULT_HOST_INFLATION = 2.0
+
+    def estimate_candidates(self, key_range: KeyRange, stats) -> float:
+        """Estimated candidate count after bucket expansion.
+
+        The predicate is first widened to whole target buckets (CM answers
+        bucket-aligned queries only), then the exact-match estimate for the
+        widened range is inflated by the assumed host-bucket over-fetch.
+        """
+        first = float(np.floor(key_range.low / self.target_bucket_width))
+        last = float(np.floor(key_range.high / self.target_bucket_width))
+        expanded = KeyRange(first * self.target_bucket_width,
+                            (last + 1.0) * self.target_bucket_width)
+        exact = stats.row_count * stats.selectivity(expanded)
+        return min(float(stats.row_count),
+                   exact * self.DEFAULT_HOST_INFLATION)
+
     def _host_ranges_for(self, predicate: KeyRange) -> list[KeyRange]:
         first = int(np.floor(predicate.low / self.target_bucket_width))
         last = int(np.floor(predicate.high / self.target_bucket_width))

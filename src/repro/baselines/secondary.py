@@ -48,15 +48,21 @@ class BaselineSecondaryIndex:
         primary_index: Index from primary-key value to row location; required
             for the logical pointer scheme.
         pointer_scheme: Tuple-identifier scheme stored in the index.
-        node_capacity: B+-tree node capacity.
+        node_capacity: B+-tree node capacity (ignored when ``index`` is given).
         size_model: Analytic memory model.
+        index: Backing index structure; defaults to a fresh
+            :class:`~repro.index.bptree.BPlusTree`.  Passing a
+            :class:`~repro.index.sorted_column.SortedColumnIndex` yields the
+            read-optimised ``IndexMethod.SORTED_COLUMN`` mechanism — same
+            lookup surface, searchsorted probes instead of tree descents.
     """
 
     def __init__(self, table: Table, target_column: str,
                  primary_index: Index | None = None,
                  pointer_scheme: PointerScheme = PointerScheme.PHYSICAL,
                  node_capacity: int = 32,
-                 size_model: SizeModel = DEFAULT_SIZE_MODEL) -> None:
+                 size_model: SizeModel = DEFAULT_SIZE_MODEL,
+                 index: Index | None = None) -> None:
         if pointer_scheme.needs_primary_lookup and primary_index is None:
             raise QueryError(
                 "logical pointers require a primary index to resolve locations"
@@ -65,7 +71,9 @@ class BaselineSecondaryIndex:
         self.target_column = target_column
         self.primary_index = primary_index
         self.pointer_scheme = pointer_scheme
-        self.index = BPlusTree(node_capacity=node_capacity, size_model=size_model)
+        self.index = index if index is not None else BPlusTree(
+            node_capacity=node_capacity, size_model=size_model
+        )
         self.cumulative = LookupBreakdown()
 
     # ----------------------------------------------------------- construction
@@ -131,6 +139,25 @@ class BaselineSecondaryIndex:
     def lookup_point(self, value: float) -> HermitLookupResult:
         """Answer ``target_column == value``."""
         return self.lookup_range(value, value)
+
+    # ------------------------------------------------------ planner interface
+
+    def candidate_tids(self, key_range: KeyRange,
+                       breakdown: LookupBreakdown) -> np.ndarray:
+        """Candidate tids for the planner — one array probe, no validation.
+
+        A complete index produces no false positives, so its candidates are
+        exactly the matching tids (modulo liveness, which the planner's
+        validation pass checks anyway).
+        """
+        started = time.perf_counter()
+        tids = self.index.range_search_array(key_range)
+        breakdown.host_index_seconds += time.perf_counter() - started
+        return tids
+
+    def estimate_candidates(self, key_range: KeyRange, stats) -> float:
+        """Estimated candidate count: exact (a complete index has no FPs)."""
+        return stats.row_count * stats.selectivity(key_range)
 
     def lookup_range_scalar(self, low: float, high: float) -> HermitLookupResult:
         """Object-at-a-time reference implementation of :meth:`lookup_range`.

@@ -329,6 +329,55 @@ class HermitIndex:
         """Answer ``target_column == value`` exactly."""
         return self.lookup_range(value, value)
 
+    # ------------------------------------------------------ planner interface
+
+    def candidate_tids(self, key_range: KeyRange,
+                       breakdown: LookupBreakdown) -> np.ndarray:
+        """Steps 1–2 of the lookup only: deduplicated candidate tids.
+
+        This is the planner's access-path entry point: it stops *before*
+        pointer resolution and base-table validation so the planner can
+        intersect candidate tid sets from several access paths and pay
+        resolution + validation once, on the intersection.  The candidate
+        set may contain false positives; the planner's final validation
+        pass removes them.
+        """
+        started = time.perf_counter()
+        trs_result = self.trs_tree.lookup(key_range)
+        breakdown.trs_seconds += time.perf_counter() - started
+
+        started = time.perf_counter()
+        candidates = self._candidate_array(trs_result)
+        breakdown.host_index_seconds += time.perf_counter() - started
+        return candidates
+
+    # Assumed candidate inflation before the first lookup provides an
+    # observed false-positive ratio; deliberately worse than an exact host
+    # index so default-stats planning prefers complete indexes over Hermit.
+    DEFAULT_FALSE_POSITIVE_RATIO = 0.25
+
+    def estimate_candidates(self, key_range: KeyRange, stats) -> float:
+        """Estimated candidate count for ``key_range`` (cost-model input).
+
+        Args:
+            key_range: The predicate on the target column.
+            stats: Catalog :class:`~repro.engine.catalog.ColumnStats` of the
+                target column (duck-typed: ``row_count`` and
+                ``selectivity``).
+
+        The exact-match estimate is inflated by the mechanism's observed
+        false-positive ratio (confidence-interval widening plus outliers),
+        falling back to :data:`DEFAULT_FALSE_POSITIVE_RATIO` before any
+        lookup has run — that is what lets the planner compare a Hermit
+        path against a complete host index honestly.
+        """
+        if self.cumulative.candidates > 0:
+            false_positives = min(self.cumulative.false_positive_ratio, 0.9)
+        else:
+            false_positives = self.DEFAULT_FALSE_POSITIVE_RATIO
+        exact = stats.row_count * stats.selectivity(key_range)
+        return exact / max(1.0 - false_positives, 0.1)
+
     def lookup_range_scalar(self, low: float, high: float) -> HermitLookupResult:
         """Object-at-a-time reference implementation of :meth:`lookup_range`.
 

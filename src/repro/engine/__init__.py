@@ -1,19 +1,58 @@
-"""The in-memory RDBMS substrate: catalog, query model, executor, facade."""
+"""The in-memory RDBMS substrate: catalog, query model, planner, executor."""
 
-from repro.engine.catalog import Catalog, IndexEntry, IndexMethod, TableEntry
+from repro.engine.access_path import (
+    DEFAULT_COST_MODEL,
+    AccessPath,
+    CompositePath,
+    CostModel,
+    FullScanPath,
+    MechanismPath,
+)
+from repro.engine.catalog import (
+    Catalog,
+    ColumnStats,
+    IndexEntry,
+    IndexMethod,
+    TableEntry,
+)
 from repro.engine.database import Database
-from repro.engine.executor import choose_index, execute_with_index, full_scan
-from repro.engine.query import QueryResult, RangePredicate, point_predicate
+from repro.engine.executor import (
+    choose_index,
+    execute_plan,
+    execute_with_index,
+    full_scan,
+)
+from repro.engine.planner import Plan, PlannedQueryResult, Planner
+from repro.engine.query import (
+    ConjunctiveQuery,
+    QueryResult,
+    RangePredicate,
+    conjunction,
+    point_predicate,
+)
 
 __all__ = [
+    "AccessPath",
     "Catalog",
+    "ColumnStats",
+    "CompositePath",
+    "ConjunctiveQuery",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
     "Database",
+    "FullScanPath",
     "IndexEntry",
     "IndexMethod",
+    "MechanismPath",
+    "Plan",
+    "PlannedQueryResult",
+    "Planner",
     "QueryResult",
     "RangePredicate",
     "TableEntry",
     "choose_index",
+    "conjunction",
+    "execute_plan",
     "execute_with_index",
     "full_scan",
     "point_predicate",

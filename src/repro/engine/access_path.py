@@ -1,0 +1,308 @@
+"""Access paths: the uniform unit the planner chooses between.
+
+An :class:`AccessPath` is one concrete way to produce *candidate tuple
+identifiers* for part of a query — a full table scan, a probe of a complete
+host index (B+-tree or sorted column), a Hermit mechanism lookup, a
+Correlation-Map lookup, or a composite-index probe covering two predicates at
+once.  Every path obeys the same array-native contract:
+
+* ``execute(breakdown) -> np.ndarray`` returns candidate tids (row locations
+  under physical pointers, primary-key values under logical pointers) as one
+  numpy array, charging its work to the shared per-phase breakdown, and
+* ``estimated_cost()`` / ``estimated_candidates()`` expose the cost model's
+  view of the path so the planner can compare paths of different kinds.
+
+Candidates may contain false positives (Hermit/CM) and dead rows; the
+executor removes both in a single batched base-table validation pass after
+intersecting the candidate sets, so paths never validate individually.
+
+Costs are measured in abstract *row-touch units* (the cost of moving one
+entry through a Python-level index structure).  The formulas, with ``n`` the
+live row count, ``k`` the mechanism's estimated candidate count and
+``L = log2(n + 1)``:
+
+=====================  =====================================================
+Path                   Estimated cost
+=====================  =====================================================
+full scan              ``n * scan_per_row``
+B+-tree index          ``descent_cost * L + k``
+sorted-column index    ``sorted_probe_cost * L + sorted_per_candidate * k``
+Hermit mechanism       ``mechanism_overhead * L + k``  (k inflated by the
+                       observed false-positive ratio)
+Correlation Map        ``mechanism_overhead * L + k``  (k inflated by bucket
+                       expansion and the host-bucket over-fetch)
+composite index        ``descent_cost * L + k``  (k uses both predicates'
+                       selectivities, independence assumed)
+=====================  =====================================================
+
+Downstream of every path, each surviving candidate still pays pointer
+resolution (a primary-index descent under logical pointers, free under
+physical pointers) plus the vectorized validation touch — the planner uses
+that per-candidate downstream weight both to pick the driver path and to
+decide whether intersecting an additional path pays for itself.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hermit import LookupBreakdown
+from repro.engine.catalog import ColumnStats, IndexEntry, IndexMethod
+from repro.index.base import KeyRange
+from repro.storage.identifiers import PointerScheme
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Constants of the planner's cost model, in row-touch units.
+
+    The defaults encode two measured facts about this codebase — sorted-column
+    probes return zero-copy views (ROADMAP: ~2x over the B+-tree) and
+    vectorized validation costs a fraction of a Python-level index touch —
+    plus one deliberate bias: ``scan_per_row`` is kept at parity with the
+    per-candidate index cost so an index is chosen whenever one covers a
+    predicate, matching the pre-planner executor's behaviour.
+    """
+
+    scan_per_row: float = 1.0
+    descent_cost: float = 2.0
+    btree_per_candidate: float = 1.0
+    sorted_probe_cost: float = 0.5
+    sorted_per_candidate: float = 0.3
+    mechanism_overhead: float = 2.0
+    validate_per_candidate: float = 0.3
+    # Per-candidate primary-index resolution under logical pointers, per
+    # log2(n) level.  Deliberately below descent_cost: resolution runs as
+    # one batched search_many whose per-key descents are C-level bisects,
+    # measurably cheaper than the Python-level leaf walks a fresh index
+    # probe pays per candidate.
+    resolve_per_level: float = 0.5
+    # Safety margin on the intersection decision: an extra path must
+    # undercut *half* the downstream work it could save, so estimate errors
+    # do not push the planner into intersections that lose in practice.
+    intersect_margin: float = 0.5
+
+    def downstream_per_candidate(self, pointer_scheme: PointerScheme,
+                                 row_count: int) -> float:
+        """Per-candidate cost paid after a path: resolution + validation.
+
+        Under logical pointers every candidate tid costs one (batched)
+        primary-index descent before it can be validated; under physical
+        pointers the tid *is* the location and only the vectorized
+        validation touch remains.  This asymmetry is why the planner
+        intersects far more eagerly under logical pointers.
+        """
+        cost = self.validate_per_candidate
+        if pointer_scheme.needs_primary_lookup:
+            cost += self.resolve_per_level * math.log2(row_count + 2)
+        return cost
+
+
+DEFAULT_COST_MODEL = CostModel()
+
+
+class AccessPath:
+    """One way to produce candidate tids for (part of) a query.
+
+    Subclasses bind their predicate(s) and statistics at construction and
+    precompute the two estimates, so the planner compares plain floats.
+
+    Attributes:
+        columns: Predicate columns this path covers (the executor validates
+            *all* query predicates regardless; covered columns only matter
+            for plan selection).
+        produces_locations: True when :meth:`execute` returns row locations
+            directly instead of pointer-scheme tids (full scans), letting
+            the executor skip pointer resolution.
+    """
+
+    columns: tuple[str, ...] = ()
+    produces_locations = False
+
+    def estimated_candidates(self) -> float:
+        """Cost-model estimate of the candidate count this path returns."""
+        raise NotImplementedError
+
+    def estimated_cost(self) -> float:
+        """Cost-model estimate of executing this path, in row-touch units."""
+        raise NotImplementedError
+
+    def execute(self, breakdown: LookupBreakdown) -> np.ndarray:
+        """Produce the candidate tid array, charging phases to ``breakdown``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable description for plan explanations."""
+        raise NotImplementedError
+
+    def rebind(self, merged: dict[str, KeyRange]) -> "AccessPath":
+        """Cheap clone bound to new predicate ranges (plan-cache replay).
+
+        The clone keeps the template's cost estimates — the plan cache only
+        replays a template while the query's selectivity bucket matches, so
+        re-estimating would change nothing the planner acts on.
+        """
+        raise NotImplementedError
+
+
+class FullScanPath(AccessPath):
+    """Scan the live rows once, masking every predicate in one pass.
+
+    Unlike the index paths, a scan produces *row locations* rather than
+    pointer-scheme tids: the planner never intersects a scan with another
+    path (a scan already applies every predicate), so the executor can skip
+    pointer resolution entirely for scan plans — under logical pointers that
+    is the whole point of scanning.
+    """
+
+    produces_locations = True
+
+    def __init__(self, table: Table, predicates: dict[str, KeyRange],
+                 cost_model: CostModel = DEFAULT_COST_MODEL) -> None:
+        self.table = table
+        self.predicates = dict(predicates)
+        self.columns = tuple(self.predicates)
+        self._cost = table.num_rows * cost_model.scan_per_row
+        # A scan applies every predicate while it reads, so its candidates
+        # are already the (live) matches; the planner refines this estimate
+        # from the column statistics via bind_candidate_estimate.
+        self._candidates = float(table.num_rows)
+
+    def bind_candidate_estimate(self, candidates: float) -> None:
+        """Let the planner refine the match estimate from column stats."""
+        self._candidates = candidates
+
+    def estimated_candidates(self) -> float:
+        return self._candidates
+
+    def estimated_cost(self) -> float:
+        return self._cost
+
+    def execute(self, breakdown: LookupBreakdown) -> np.ndarray:
+        started = time.perf_counter()
+        projected = self.table.project(list(self.predicates))
+        slots = projected[0]
+        mask = np.ones(slots.shape, dtype=bool)
+        for key_range, values in zip(self.predicates.values(), projected[1:]):
+            mask &= (values >= key_range.low) & (values <= key_range.high)
+        matching = slots[mask]
+        breakdown.base_table_seconds += time.perf_counter() - started
+        return matching
+
+    def describe(self) -> str:
+        columns = ", ".join(self.columns)
+        return f"full-scan({columns}) cost={self._cost:.0f}"
+
+    def rebind(self, merged: dict[str, KeyRange]) -> "FullScanPath":
+        clone = object.__new__(FullScanPath)
+        clone.table = self.table
+        clone.predicates = dict(merged)
+        clone.columns = tuple(merged)
+        clone._cost = self._cost
+        clone._candidates = self._candidates
+        return clone
+
+
+class MechanismPath(AccessPath):
+    """Probe one catalogued single-column index mechanism.
+
+    Covers B+-tree and sorted-column complete indexes, Hermit mechanisms and
+    Correlation Maps — anything exposing ``candidate_tids(key_range,
+    breakdown)`` and ``estimate_candidates(key_range, stats)``.
+    """
+
+    def __init__(self, entry: IndexEntry, key_range: KeyRange,
+                 stats: ColumnStats,
+                 cost_model: CostModel = DEFAULT_COST_MODEL) -> None:
+        self.entry = entry
+        self.key_range = key_range
+        self.columns = (entry.column,)
+        self._candidates = float(
+            entry.mechanism.estimate_candidates(key_range, stats)
+        )
+        levels = math.log2(stats.row_count + 2)
+        if entry.method is IndexMethod.SORTED_COLUMN:
+            self._cost = (cost_model.sorted_probe_cost * levels
+                          + cost_model.sorted_per_candidate * self._candidates)
+        elif entry.method is IndexMethod.BTREE:
+            self._cost = (cost_model.descent_cost * levels
+                          + cost_model.btree_per_candidate * self._candidates)
+        else:  # HERMIT / CORRELATION_MAP: translation + host-index gathers
+            self._cost = (cost_model.mechanism_overhead * levels
+                          + cost_model.btree_per_candidate * self._candidates)
+
+    def estimated_candidates(self) -> float:
+        return self._candidates
+
+    def estimated_cost(self) -> float:
+        return self._cost
+
+    def execute(self, breakdown: LookupBreakdown) -> np.ndarray:
+        return self.entry.mechanism.candidate_tids(self.key_range, breakdown)
+
+    def describe(self) -> str:
+        return (f"{self.entry.method.value}({self.entry.name} on "
+                f"{self.entry.column}) cost={self._cost:.0f} "
+                f"~candidates={self._candidates:.0f}")
+
+    def rebind(self, merged: dict[str, KeyRange]) -> "MechanismPath":
+        clone = object.__new__(MechanismPath)
+        clone.entry = self.entry
+        clone.key_range = merged[self.entry.column]
+        clone.columns = self.columns
+        clone._candidates = self._candidates
+        clone._cost = self._cost
+        return clone
+
+
+class CompositePath(AccessPath):
+    """Probe a composite index, covering two predicates with one path."""
+
+    def __init__(self, entry: IndexEntry, leading_range: KeyRange,
+                 second_range: KeyRange, leading_stats: ColumnStats,
+                 second_stats: ColumnStats,
+                 cost_model: CostModel = DEFAULT_COST_MODEL) -> None:
+        self.entry = entry
+        self.leading_range = leading_range
+        self.second_range = second_range
+        self.columns = (entry.column, entry.second_column)
+        self._candidates = float(entry.mechanism.estimate_candidates(
+            leading_range, second_range, leading_stats, second_stats
+        ))
+        # The probe walks the whole leading-key run and masks the second key,
+        # so the per-candidate term uses the leading predicate's row estimate.
+        leading_rows = leading_stats.estimated_rows(leading_range)
+        self._cost = (cost_model.descent_cost
+                      * math.log2(leading_stats.row_count + 2)
+                      + cost_model.btree_per_candidate * leading_rows)
+
+    def estimated_candidates(self) -> float:
+        return self._candidates
+
+    def estimated_cost(self) -> float:
+        return self._cost
+
+    def execute(self, breakdown: LookupBreakdown) -> np.ndarray:
+        return self.entry.mechanism.candidate_tids_pair(
+            self.leading_range, self.second_range, breakdown
+        )
+
+    def describe(self) -> str:
+        return (f"composite({self.entry.name} on {self.entry.column}, "
+                f"{self.entry.second_column}) cost={self._cost:.0f} "
+                f"~candidates={self._candidates:.0f}")
+
+    def rebind(self, merged: dict[str, KeyRange]) -> "CompositePath":
+        clone = object.__new__(CompositePath)
+        clone.entry = self.entry
+        clone.leading_range = merged[self.entry.column]
+        clone.second_range = merged[self.entry.second_column]
+        clone.columns = self.columns
+        clone._candidates = self._candidates
+        clone._cost = self._cost
+        return clone

@@ -10,11 +10,13 @@ indexes consume?" (the space-breakdown figures).
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.correlation.discovery import CorrelationCandidate
 from repro.errors import CatalogError
+from repro.index.base import KeyRange
 from repro.storage.table import Table
 
 
@@ -22,9 +24,65 @@ class IndexMethod(enum.Enum):
     """How a secondary index is physically realised."""
 
     BTREE = "btree"
+    SORTED_COLUMN = "sorted_column"
     HERMIT = "hermit"
     CORRELATION_MAP = "correlation_map"
+    COMPOSITE = "composite"
     AUTO = "auto"
+
+
+# Methods that constitute a *complete* exact index on their target column and
+# can therefore serve as the host of a correlation-based mechanism.
+HOST_METHODS = (IndexMethod.BTREE, IndexMethod.SORTED_COLUMN)
+
+# Assumed selectivity when a column carries no usable statistics; chosen so
+# the cost model's default ranking reproduces the pre-planner executor's
+# fixed preference order (host index, then Hermit, then CM).
+DEFAULT_SELECTIVITY = 0.05
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Lightweight per-column optimizer statistics served by the catalog.
+
+    Derived from the running min/max/count the table maintains on insert;
+    the cost model assumes a uniform value distribution over ``[minimum,
+    maximum]``, which is exactly the granularity the paper's "optimizer
+    statistics" provide.
+    """
+
+    row_count: int
+    minimum: float
+    maximum: float
+
+    @property
+    def has_range(self) -> bool:
+        """Whether min/max have been observed (false on empty columns)."""
+        return math.isfinite(self.minimum) and math.isfinite(self.maximum)
+
+    def selectivity(self, key_range: KeyRange) -> float:
+        """Estimated fraction of rows matching ``key_range`` (uniform model).
+
+        Falls back to :data:`DEFAULT_SELECTIVITY` when the column has no
+        observed range, and floors non-empty overlaps at one row so point
+        predicates never estimate to zero.
+        """
+        if self.row_count == 0:
+            return 0.0
+        if not self.has_range:
+            return DEFAULT_SELECTIVITY
+        low = max(key_range.low, self.minimum)
+        high = min(key_range.high, self.maximum)
+        if high < low:
+            return 0.0
+        domain = self.maximum - self.minimum
+        if domain <= 0:
+            return 1.0
+        return min(1.0, max((high - low) / domain, 1.0 / self.row_count))
+
+    def estimated_rows(self, key_range: KeyRange) -> float:
+        """Estimated number of matching rows."""
+        return self.row_count * self.selectivity(key_range)
 
 
 @dataclass
@@ -36,9 +94,12 @@ class IndexEntry:
         table_name: Table the index belongs to.
         column: Indexed (target) column.
         method: Physical mechanism backing the index.
-        mechanism: The mechanism object (BaselineSecondaryIndex, HermitIndex
-            or CorrelationMap); duck-typed by the executor.
+        mechanism: The mechanism object (BaselineSecondaryIndex, HermitIndex,
+            CorrelationMap or CompositeSecondaryIndex); duck-typed by the
+            executor and the planner's access paths.
         host_column: Host column for correlation-based mechanisms.
+        second_column: Second key column for COMPOSITE indexes (``column``
+            is the leading key).
         is_preexisting: Whether the index existed before the experiment's
             "new" indexes were added; drives the space-breakdown labels.
     """
@@ -49,6 +110,7 @@ class IndexEntry:
     method: IndexMethod
     mechanism: object
     host_column: str | None = None
+    second_column: str | None = None
     is_preexisting: bool = False
 
 
@@ -68,6 +130,19 @@ class Catalog:
 
     def __init__(self) -> None:
         self._tables: dict[str, TableEntry] = {}
+        self._version = 0
+        # (table, column) -> (observation count, stats); rebuilt when the
+        # table has observed new values or its live row count changed.
+        self._stats_cache: dict[tuple[str, str], tuple[int, ColumnStats]] = {}
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every index DDL.
+
+        The planner keys its plan cache on this: a cached plan is only
+        replayed while the index set it was chosen from is unchanged.
+        """
+        return self._version
 
     def add_table(self, name: str, table: Table, primary_index: object) -> TableEntry:
         """Register a table.
@@ -104,16 +179,19 @@ class Catalog:
                 f"index {entry.name!r} already exists on table {entry.table_name!r}"
             )
         table_entry.indexes[entry.name] = entry
+        self._version += 1
 
     def drop_index(self, table_name: str, index_name: str) -> IndexEntry:
         """Remove and return a secondary index entry."""
         table_entry = self.table_entry(table_name)
         try:
-            return table_entry.indexes.pop(index_name)
+            dropped = table_entry.indexes.pop(index_name)
         except KeyError:
             raise CatalogError(
                 f"index {index_name!r} does not exist on table {table_name!r}"
             ) from None
+        self._version += 1
+        return dropped
 
     def indexes_on(self, table_name: str) -> list[IndexEntry]:
         """All secondary indexes of a table."""
@@ -125,13 +203,36 @@ class Catalog:
                 if entry.column == column]
 
     def indexed_columns(self, table_name: str,
-                        methods: tuple[IndexMethod, ...] = (IndexMethod.BTREE,)) -> list[str]:
+                        methods: tuple[IndexMethod, ...] = HOST_METHODS) -> list[str]:
         """Columns of a table carrying a complete index of one of ``methods``.
 
         These are the viable host candidates for a Hermit index.
         """
         return [entry.column for entry in self.indexes_on(table_name)
                 if entry.method in methods]
+
+    def column_stats(self, table_name: str, column: str) -> ColumnStats:
+        """Optimizer statistics for one column, fed to the planner's cost model.
+
+        The catalog serves them from the running min/max/count the table
+        maintains; a column that never observed a value yields stats whose
+        :meth:`ColumnStats.selectivity` falls back to the default, which is
+        what keeps the cost model's ranking equal to the pre-planner
+        executor's fixed preference order on unknown data.
+        """
+        entry = self.table_entry(table_name)
+        observed = entry.table.statistics.get(column)
+        if observed is None:
+            return ColumnStats(entry.table.num_rows, math.inf, -math.inf)
+        cache_key = (table_name, column)
+        cached = self._stats_cache.get(cache_key)
+        row_count = entry.table.num_rows
+        if (cached is not None and cached[0] == observed.count
+                and cached[1].row_count == row_count):
+            return cached[1]
+        stats = ColumnStats(row_count, observed.minimum, observed.maximum)
+        self._stats_cache[cache_key] = (observed.count, stats)
+        return stats
 
     def record_correlation(self, table_name: str,
                            candidate: CorrelationCandidate) -> None:

@@ -15,6 +15,15 @@ Typical usage::
     db.create_index("idx_sp", "stock_history", "sp",
                     method=IndexMethod.AUTO)                     # becomes a Hermit index
     result = db.query("stock_history", RangePredicate("sp", 900, 950))
+    planned = db.query_conjunctive("stock_history", [
+        RangePredicate("sp", 900, 950), RangePredicate("dj", 8_000, 9_000),
+    ])                                # cost-based plan, array-native result
+
+Reads route through the cost-based planner (``engine/planner.py``): the
+catalog's per-column statistics pick the cheapest access path per
+predicate, candidate tid sets are intersected vectorized, and one batched
+base-table pass validates every predicate.  ``explain()`` returns the plan
+without executing it.
 """
 
 from __future__ import annotations
@@ -28,11 +37,21 @@ from repro.baselines.secondary import BaselineSecondaryIndex
 from repro.core.config import DEFAULT_CONFIG, TRSTreeConfig
 from repro.core.hermit import HermitIndex
 from repro.correlation.advisor import HostColumnAdvisor
-from repro.engine.catalog import Catalog, IndexEntry, IndexMethod, TableEntry
-from repro.engine.executor import choose_index, execute_with_index, full_scan
-from repro.engine.query import QueryResult, RangePredicate
+from repro.engine.access_path import DEFAULT_COST_MODEL, CostModel
+from repro.engine.catalog import (
+    HOST_METHODS,
+    Catalog,
+    IndexEntry,
+    IndexMethod,
+    TableEntry,
+)
+from repro.engine.executor import execute_plan, execute_with_index
+from repro.engine.planner import Plan, PlannedQueryResult, Planner
+from repro.engine.query import ConjunctiveQuery, QueryResult, RangePredicate
 from repro.errors import CatalogError, QueryError
 from repro.index.bptree import BPlusTree
+from repro.index.composite import CompositeSecondaryIndex
+from repro.index.sorted_column import SortedColumnIndex
 from repro.storage.identifiers import PointerScheme
 from repro.storage.memory import DEFAULT_SIZE_MODEL, MemoryReport, SizeModel
 from repro.storage.schema import DataType, TableSchema
@@ -47,17 +66,20 @@ class Database:
         trs_config: Default TRS-Tree parameters for Hermit indexes.
         size_model: Analytic memory model shared by every structure.
         advisor: Host-column advisor consulted by ``IndexMethod.AUTO``.
+        cost_model: Cost-model constants driving the query planner.
     """
 
     def __init__(self, pointer_scheme: PointerScheme = PointerScheme.PHYSICAL,
                  trs_config: TRSTreeConfig = DEFAULT_CONFIG,
                  size_model: SizeModel = DEFAULT_SIZE_MODEL,
-                 advisor: HostColumnAdvisor | None = None) -> None:
+                 advisor: HostColumnAdvisor | None = None,
+                 cost_model: CostModel = DEFAULT_COST_MODEL) -> None:
         self.pointer_scheme = pointer_scheme
         self.trs_config = trs_config
         self.size_model = size_model
         self.advisor = advisor or HostColumnAdvisor()
         self.catalog = Catalog()
+        self.planner = Planner(self.catalog, pointer_scheme, cost_model)
 
     # ------------------------------------------------------------------ DDL
 
@@ -103,10 +125,13 @@ class Database:
         if method is IndexMethod.AUTO:
             method, host_column = self._advise(entry, column, host_column)
 
-        if method is IndexMethod.BTREE:
+        if method in (IndexMethod.BTREE, IndexMethod.SORTED_COLUMN):
+            backing = (SortedColumnIndex(size_model=self.size_model)
+                       if method is IndexMethod.SORTED_COLUMN else None)
             mechanism: object = BaselineSecondaryIndex(
                 table, column, primary_index=entry.primary_index,
                 pointer_scheme=self.pointer_scheme, size_model=self.size_model,
+                index=backing,
             )
             mechanism.build()
         elif method is IndexMethod.HERMIT:
@@ -146,6 +171,40 @@ class Database:
         self.catalog.add_index(index_entry)
         return index_entry
 
+    def create_composite_index(self, name: str, table_name: str,
+                               leading_column: str, second_column: str,
+                               preexisting: bool = False) -> IndexEntry:
+        """Create a composite (two-column) secondary index.
+
+        The planner uses it as a single access path covering a conjunctive
+        predicate on both key columns (Section 3's multi-column setting).
+
+        Args:
+            name: Index name (unique per table).
+            table_name: Table to index.
+            leading_column: Leading key column.
+            second_column: Second key column.
+            preexisting: Space-breakdown label, as for :meth:`create_index`.
+        """
+        entry = self.catalog.table_entry(table_name)
+        entry.table.schema.position_of(leading_column)
+        entry.table.schema.position_of(second_column)
+        if leading_column == second_column:
+            raise QueryError("composite index needs two distinct columns")
+        mechanism = CompositeSecondaryIndex(
+            entry.table, leading_column, second_column,
+            primary_index=entry.primary_index,
+            pointer_scheme=self.pointer_scheme, size_model=self.size_model,
+        )
+        mechanism.build()
+        index_entry = IndexEntry(
+            name=name, table_name=table_name, column=leading_column,
+            method=IndexMethod.COMPOSITE, mechanism=mechanism,
+            second_column=second_column, is_preexisting=preexisting,
+        )
+        self.catalog.add_index(index_entry)
+        return index_entry
+
     def drop_index(self, table_name: str, index_name: str) -> None:
         """Drop a secondary index."""
         self.catalog.drop_index(table_name, index_name)
@@ -177,7 +236,7 @@ class Database:
             return entry.primary_index
         host_entries = [
             e for e in self.catalog.indexes_on_column(entry.name, host_column)
-            if e.method is IndexMethod.BTREE
+            if e.method in HOST_METHODS
         ]
         if not host_entries:
             raise CatalogError(
@@ -278,13 +337,62 @@ class Database:
     # ---------------------------------------------------------------- queries
 
     def query(self, table_name: str, predicate: RangePredicate) -> QueryResult:
-        """Execute a single-column predicate, using an index when possible."""
+        """Execute a single-column predicate through the planner.
+
+        Kept API-compatible with the pre-planner engine: the result carries a
+        sorted list of row locations and the name of the index that served
+        the predicate (``None`` for a full scan).
+        """
+        planned = self.query_conjunctive(table_name, [predicate])
+        return QueryResult(
+            locations=planned.locations.tolist(),
+            breakdown=planned.breakdown,
+            used_index=planned.plan.used_index,
+        )
+
+    def query_conjunctive(
+        self, table_name: str,
+        query: "ConjunctiveQuery | Sequence[RangePredicate] | RangePredicate",
+    ) -> PlannedQueryResult:
+        """Execute a conjunction of range predicates through the planner.
+
+        The array-native read API: the planner picks the cheapest access
+        path per predicate from the catalog statistics, the executor
+        intersects the candidate tid sets (``np.intersect1d``), resolves
+        pointers once and validates every predicate in one batched
+        base-table pass.
+
+        Args:
+            table_name: Table to query.
+            query: A :class:`ConjunctiveQuery`, a sequence of
+                :class:`RangePredicate` conjuncts, or a single predicate.
+
+        Returns:
+            A :class:`PlannedQueryResult` whose ``locations`` is a sorted
+            int64 array and whose ``plan`` explains the chosen paths.
+        """
+        query = self._as_conjunctive(query)
         entry = self.catalog.table_entry(table_name)
-        candidates = self.catalog.indexes_on_column(table_name, predicate.column)
-        chosen = choose_index(candidates)
-        if chosen is None:
-            return full_scan(entry.table, predicate)
-        return execute_with_index(chosen, predicate)
+        plan = self.planner.plan(table_name, query)
+        return execute_plan(plan, entry, self.pointer_scheme,
+                            entry.primary_index)
+
+    def explain(self, table_name: str,
+                query: "ConjunctiveQuery | Sequence[RangePredicate] | RangePredicate",
+    ) -> Plan:
+        """Plan a query without executing it (the ``EXPLAIN`` entry point)."""
+        return self.planner.plan(table_name, self._as_conjunctive(query))
+
+    @staticmethod
+    def _as_conjunctive(
+        query: "ConjunctiveQuery | Sequence[RangePredicate] | RangePredicate",
+    ) -> ConjunctiveQuery:
+        """Coerce any accepted query shape to a ConjunctiveQuery."""
+        if isinstance(query, ConjunctiveQuery):
+            return query
+        if isinstance(query, RangePredicate):
+            return ConjunctiveQuery([query])
+        return ConjunctiveQuery(query)
 
     def query_with(self, table_name: str, index_name: str,
                    predicate: RangePredicate) -> QueryResult:
@@ -294,6 +402,12 @@ class Database:
         if index_entry is None:
             raise CatalogError(
                 f"index {index_name!r} does not exist on table {table_name!r}"
+            )
+        if index_entry.method is IndexMethod.COMPOSITE:
+            raise QueryError(
+                f"composite index {index_name!r} cannot serve a single "
+                f"predicate; use query_conjunctive with predicates on "
+                f"{index_entry.column!r} and {index_entry.second_column!r}"
             )
         if index_entry.column != predicate.column:
             raise QueryError(

@@ -1,19 +1,97 @@
-"""Query execution helpers.
+"""Query execution: plan pipelines and the legacy single-predicate helpers.
 
-The heavy lifting happens inside the index mechanisms themselves (they each
-implement ``lookup_range`` and return per-phase breakdowns); the executor's
-job is to pick the right access path for a predicate — an index if one exists
-on the predicate column, otherwise a full scan — and to normalise the result.
+The executor half of the planner subsystem runs a
+:class:`~repro.engine.planner.Plan` with the array-native pipeline the
+mechanisms already use internally: every access path returns one candidate
+tid ndarray, the arrays are intersected with ``np.intersect1d``, pointer
+resolution happens once on the intersection (batched primary-index probe
+under logical pointers), and a single vectorized base-table validation pass
+enforces *every* predicate of the query — including the ones no path was
+executed for — and drops dead rows and mechanism false positives.
+
+The pre-planner helpers (:func:`full_scan`, :func:`execute_with_index`,
+:func:`choose_index`) are kept: the first two serve ``query_with`` and the
+correctness tests' reference semantics, and :func:`choose_index` is the cost
+model's default-statistics ranking in miniature.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from repro.core.hermit import LookupBreakdown
-from repro.engine.catalog import IndexEntry
+from repro.core.hermit import LookupBreakdown, resolve_tids_array
+from repro.engine.catalog import IndexEntry, IndexMethod, TableEntry
+from repro.engine.planner import Plan, PlannedQueryResult
 from repro.engine.query import QueryResult, RangePredicate
+from repro.index.base import Index
+from repro.storage.identifiers import PointerScheme
 from repro.storage.table import Table
+
+
+def execute_plan(plan: Plan, entry: TableEntry,
+                 pointer_scheme: PointerScheme,
+                 primary_index: Index | None = None) -> PlannedQueryResult:
+    """Run a plan: execute paths, intersect, resolve once, validate once."""
+    breakdown = LookupBreakdown(lookups=1)
+    if plan.unsatisfiable or not plan.paths:
+        return PlannedQueryResult(np.empty(0, dtype=np.int64), breakdown, plan)
+
+    tids = plan.paths[0].execute(breakdown)
+    for path in plan.paths[1:]:
+        if tids.size == 0:
+            break
+        tids = np.intersect1d(tids, path.execute(breakdown))
+
+    if plan.paths[0].produces_locations:
+        # Full scans emit row locations that already satisfy every predicate
+        # over live rows only — no pointer resolution, no re-validation.
+        locations = np.asarray(tids, dtype=np.int64)
+        breakdown.candidates += int(locations.size)
+    else:
+        locations = resolve_tids_array(np.asarray(tids), pointer_scheme,
+                                       primary_index, breakdown)
+        breakdown.candidates += int(locations.size)
+
+        started = time.perf_counter()
+        for column, key_range in plan.merged.items():
+            if locations.size == 0:
+                break
+            locations = entry.table.filter_in_range(
+                locations, column, key_range.low, key_range.high
+            )
+        breakdown.base_table_seconds += time.perf_counter() - started
+
+    breakdown.results += int(locations.size)
+    locations = np.unique(locations.astype(np.int64, copy=False))
+    _observe_lookup(plan, breakdown)
+    return PlannedQueryResult(locations, breakdown, plan)
+
+
+def _observe_lookup(plan: Plan, breakdown: LookupBreakdown) -> None:
+    """Feed a single-mechanism plan's outcome back into the mechanism.
+
+    Mechanisms keep a cumulative breakdown whose observed false-positive
+    ratio drives their planner cost estimates (``estimate_candidates``);
+    the legacy ``lookup_range`` path records it itself, so planned queries
+    must too or the planner would price e.g. a leaky Hermit index at the
+    default ratio forever.  Only unambiguous plans observe: exactly one
+    mechanism path covering *every* predicate column — with a validate-only
+    predicate in the plan, rows it rejects would otherwise be booked as the
+    mechanism's false positives and corrupt the ratio.
+    """
+    if len(plan.paths) != 1:
+        return
+    path = plan.paths[0]
+    if set(path.columns) != set(plan.merged):
+        return
+    entry = getattr(path, "entry", None)
+    if entry is None:
+        return
+    cumulative = getattr(entry.mechanism, "cumulative", None)
+    if cumulative is not None:
+        cumulative.merge(breakdown)
 
 
 def full_scan(table: Table, predicate: RangePredicate) -> QueryResult:
@@ -40,14 +118,32 @@ def execute_with_index(entry: IndexEntry, predicate: RangePredicate) -> QueryRes
     )
 
 
-def choose_index(entries: list[IndexEntry]) -> IndexEntry | None:
-    """Pick the index used to serve a predicate.
+# Default-statistics ranking of the mechanisms, cheapest first.  This is the
+# cost model collapsed to the no-information case: a sorted-column probe is a
+# zero-copy slice, a B+-tree is exact but pays Python-level leaf walks, and
+# the correlation mechanisms add false positives on top (Hermit fewer than
+# CM's bucket expansion).  An exact-column host index therefore always beats
+# a Hermit mechanism for point lookups, fixing the old tie-breaking that
+# ranked unknown methods arbitrarily.
+_DEFAULT_METHOD_RANK = {
+    IndexMethod.SORTED_COLUMN: 0,
+    IndexMethod.BTREE: 1,
+    IndexMethod.HERMIT: 2,
+    IndexMethod.CORRELATION_MAP: 3,
+}
 
-    Preference order mirrors what a real optimizer would do given the paper's
-    setting: a complete B+-tree first (it never produces false positives),
-    then Hermit, then CM.
+
+def choose_index(entries: list[IndexEntry]) -> IndexEntry | None:
+    """Pick the index used to serve a single-column predicate.
+
+    This is the planner's default-statistics preference order (see
+    ``_DEFAULT_METHOD_RANK``); the planner proper refines it with per-column
+    statistics and per-mechanism candidate estimates.  Methods outside the
+    ranking (e.g. COMPOSITE, which cannot serve a single predicate alone)
+    are never chosen ahead of a ranked one.
     """
-    if not entries:
+    ranked = [entry for entry in entries
+              if entry.method in _DEFAULT_METHOD_RANK]
+    if not ranked:
         return None
-    priority = {"btree": 0, "hermit": 1, "correlation_map": 2}
-    return min(entries, key=lambda e: priority.get(e.method.value, 99))
+    return min(ranked, key=lambda entry: _DEFAULT_METHOD_RANK[entry.method])

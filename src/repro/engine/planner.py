@@ -1,0 +1,336 @@
+"""The cost-based query planner.
+
+The planner turns a :class:`~repro.engine.query.ConjunctiveQuery` into a
+:class:`Plan`: an ordered list of :class:`~repro.engine.access_path.AccessPath`
+objects to execute and intersect, chosen by the cost model from the catalog's
+per-column statistics.  Planning proceeds in four steps:
+
+1. **Normalise** — merge same-column predicates (:meth:`ConjunctiveQuery.merged`);
+   a contradiction short-circuits to an unsatisfiable plan.
+2. **Enumerate** — for every predicate column, build one
+   :class:`~repro.engine.access_path.MechanismPath` per catalogued index on
+   that column; for every composite index whose two key columns both carry
+   predicates, build a :class:`~repro.engine.access_path.CompositePath`; and
+   always one :class:`~repro.engine.access_path.FullScanPath` covering the
+   whole conjunction.
+3. **Select** — keep the cheapest path per column (a composite path wins a
+   pair of columns when it undercuts the two single-column winners combined),
+   pick the *driver* path minimising ``cost + downstream_per_candidate *
+   candidates``, and fall back to the full scan when the driver does not beat
+   it.
+4. **Intersect or validate** — every additional selected path is executed and
+   intersected (``np.intersect1d``) only when its execution cost undercuts the
+   downstream work it saves on the driver's candidates (under logical
+   pointers each candidate costs a primary-index descent, so intersection
+   pays off much earlier than under physical pointers); predicates whose
+   paths are not worth executing are enforced by the executor's final batched
+   validation pass instead.
+
+The executor half lives in :mod:`repro.engine.executor`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.hermit import LookupBreakdown
+from repro.engine.access_path import (
+    DEFAULT_COST_MODEL,
+    AccessPath,
+    CompositePath,
+    CostModel,
+    FullScanPath,
+    MechanismPath,
+)
+from repro.engine.catalog import Catalog, IndexMethod, TableEntry
+from repro.engine.query import ConjunctiveQuery
+from repro.index.base import KeyRange
+from repro.storage.identifiers import PointerScheme
+
+
+@dataclass
+class Plan:
+    """The planner's output: which paths to execute, and why.
+
+    Attributes:
+        table_name: Table the plan reads.
+        query: The normalised input query.
+        merged: One intersected key range per predicate column (empty when
+            unsatisfiable).
+        paths: Access paths to execute, driver first; their candidate tid
+            arrays are intersected in order.
+        estimated_cost: Cost-model total for the chosen paths plus the
+            downstream per-candidate work on the driver's candidates.
+        unsatisfiable: True when same-column predicates contradict — the
+            executor returns an empty result without touching any path.
+    """
+
+    table_name: str
+    query: ConjunctiveQuery
+    merged: dict[str, KeyRange] = field(default_factory=dict)
+    paths: list[AccessPath] = field(default_factory=list)
+    estimated_cost: float = 0.0
+    unsatisfiable: bool = False
+
+    @property
+    def used_index(self) -> str | None:
+        """Name of the driver path's index, or None for a full scan."""
+        for path in self.paths:
+            entry = getattr(path, "entry", None)
+            if entry is not None:
+                return entry.name
+        return None
+
+    @property
+    def is_full_scan(self) -> bool:
+        """Whether the plan reads the base table directly."""
+        return any(isinstance(path, FullScanPath) for path in self.paths)
+
+    def describe(self) -> str:
+        """Multi-line plan explanation (the ``EXPLAIN`` output)."""
+        if self.unsatisfiable:
+            return (f"plan for {self.table_name}: unsatisfiable "
+                    f"(contradictory predicates)")
+        lines = [f"plan for {self.table_name} "
+                 f"(estimated cost {self.estimated_cost:.0f}):"]
+        for position, path in enumerate(self.paths):
+            role = "drive" if position == 0 else "intersect"
+            lines.append(f"  {role}: {path.describe()}")
+        executed = {column for path in self.paths for column in path.columns}
+        validated = [column for column in self.merged if column not in executed]
+        columns = ", ".join(self.merged)
+        suffix = (f" (+ validate-only: {', '.join(validated)})"
+                  if validated else "")
+        lines.append(f"  validate: base table on [{columns}]{suffix}")
+        return "\n".join(lines)
+
+
+@dataclass
+class PlannedQueryResult:
+    """Array-native result of a planned query.
+
+    Attributes:
+        locations: Matching row locations, sorted ascending, deduplicated
+            (an int64 numpy array — the planner pipeline never leaves numpy).
+        breakdown: Per-phase time accounting accumulated across every
+            executed path, pointer resolution and validation.
+        plan: The plan that produced the result.
+    """
+
+    locations: np.ndarray
+    breakdown: LookupBreakdown
+    plan: Plan
+
+    def __len__(self) -> int:
+        return int(self.locations.size)
+
+
+def _selectivity_bucket(selectivity: float) -> int:
+    """Quantise a selectivity to a power-of-two bucket for plan caching."""
+    if selectivity <= 0.0:
+        return -64
+    return max(-64, min(0, int(math.log2(selectivity))))
+
+
+# A cached plan is replayed at most this many times before a full replan.
+# Mechanism cost estimates improve as queries execute (the executor feeds
+# observed false-positive ratios back into the mechanisms), and none of the
+# cache-invalidation signals sees that feedback — bounding replays keeps
+# the amortised planning cost near zero while guaranteeing a plan priced on
+# stale estimates is reconsidered within a bounded number of queries.
+_MAX_PLAN_REPLAYS = 64
+
+
+@dataclass
+class _CachedPlan:
+    """A plan template replayed while its planning inputs stay stable."""
+
+    plan: Plan
+    catalog_version: int
+    row_count: int
+    replays: int = 0
+
+    def replay(self, query: ConjunctiveQuery,
+               merged: dict[str, KeyRange]) -> Plan:
+        """Rebind the template's paths to the new predicate ranges."""
+        self.replays += 1
+        template = self.plan
+        return Plan(
+            table_name=template.table_name, query=query, merged=merged,
+            paths=[path.rebind(merged) for path in template.paths],
+            estimated_cost=template.estimated_cost,
+        )
+
+
+class Planner:
+    """Cost-based single-table planner over the catalog.
+
+    Planning a query costs a few dozen microseconds of pure Python, which
+    would dwarf a point probe if paid on every call — so chosen plans are
+    cached per (table, predicate-column set) and replayed while the index
+    set is unchanged (catalog version), the table has not grown or shrunk
+    past 2x, and the query's per-column selectivity stays in the same
+    power-of-two bucket.  Any of those changing — or a cached plan hitting
+    its replay bound (mechanism cost estimates improve as observed
+    false-positive ratios accumulate) — replans from scratch.
+
+    Args:
+        catalog: The catalog providing index entries and column statistics.
+        pointer_scheme: Tuple-identifier scheme of the database — it sets the
+            per-candidate downstream weight (resolution is free under
+            physical pointers, a primary-index descent under logical ones).
+        cost_model: Cost-model constants.
+    """
+
+    def __init__(self, catalog: Catalog,
+                 pointer_scheme: PointerScheme = PointerScheme.PHYSICAL,
+                 cost_model: CostModel = DEFAULT_COST_MODEL) -> None:
+        self.catalog = catalog
+        self.pointer_scheme = pointer_scheme
+        self.cost_model = cost_model
+        self._cache: dict[tuple, _CachedPlan] = {}
+
+    def plan(self, table_name: str, query: ConjunctiveQuery) -> Plan:
+        """Choose the cheapest access-path combination for ``query``."""
+        entry = self.catalog.table_entry(table_name)
+        merged = query.merged()
+        if merged is None:
+            return Plan(table_name=table_name, query=query, unsatisfiable=True)
+
+        stats = {column: self.catalog.column_stats(table_name, column)
+                 for column in merged}
+        buckets = tuple(
+            _selectivity_bucket(stats[column].selectivity(key_range))
+            for column, key_range in merged.items()
+        )
+        # The bucket tuple is part of the key (not just a validity check):
+        # a workload alternating shapes on the same columns — point probes
+        # interleaved with ranges — must hit two cache slots, not evict one.
+        cache_key = (table_name, tuple(merged), buckets)
+        cached = self._cache.get(cache_key)
+        row_count = entry.table.num_rows
+        if (cached is not None
+                and cached.replays < _MAX_PLAN_REPLAYS
+                and cached.catalog_version == self.catalog.version
+                and cached.row_count <= 2 * row_count
+                and row_count <= 2 * cached.row_count):
+            return cached.replay(query, merged)
+
+        plan = self._plan_fresh(table_name, entry, query, merged, stats)
+        self._cache[cache_key] = _CachedPlan(
+            plan=plan, catalog_version=self.catalog.version,
+            row_count=row_count,
+        )
+        return plan
+
+    def _plan_fresh(self, table_name: str, entry: TableEntry,
+                    query: ConjunctiveQuery, merged: dict[str, KeyRange],
+                    stats: dict) -> Plan:
+        """Full cost-based planning (the cache-miss path)."""
+        scan = self._scan_path(entry, merged, stats)
+        best_per_column = self._best_single_column_paths(table_name, merged,
+                                                         stats)
+        self._fold_in_composite_paths(table_name, merged, stats,
+                                      best_per_column)
+
+        selected: list[AccessPath] = []
+        for path in best_per_column.values():
+            if path is not None and path not in selected:
+                selected.append(path)
+        row_count = entry.table.num_rows
+        downstream = self.cost_model.downstream_per_candidate(
+            self.pointer_scheme, row_count
+        )
+        if not selected:
+            return self._scan_plan(table_name, query, merged, scan)
+
+        driver = min(selected, key=lambda path: path.estimated_cost()
+                     + downstream * path.estimated_candidates())
+        driver_total = (driver.estimated_cost()
+                        + downstream * driver.estimated_candidates())
+        scan_total = (scan.estimated_cost()
+                      + self.cost_model.validate_per_candidate
+                      * scan.estimated_candidates())
+        if driver_total >= scan_total:
+            return self._scan_plan(table_name, query, merged, scan)
+
+        # An extra path is worth executing only when probing it costs clearly
+        # less than the downstream work it can strip from the driver's
+        # candidates (the margin guards against estimate errors).
+        budget = (self.cost_model.intersect_margin * downstream
+                  * driver.estimated_candidates())
+        extras = sorted(
+            (path for path in selected
+             if path is not driver and path.estimated_cost() < budget),
+            key=lambda path: path.estimated_cost(),
+        )
+        paths = [driver] + extras
+        total = sum(path.estimated_cost() for path in paths) + downstream * min(
+            path.estimated_candidates() for path in paths
+        )
+        return Plan(table_name=table_name, query=query, merged=merged,
+                    paths=paths, estimated_cost=total)
+
+    # ---------------------------------------------------------------- private
+
+    def _scan_path(self, entry: TableEntry, merged: dict[str, KeyRange],
+                   stats: dict) -> FullScanPath:
+        scan = FullScanPath(entry.table, merged, self.cost_model)
+        matches = float(entry.table.num_rows)
+        for column, key_range in merged.items():
+            matches *= stats[column].selectivity(key_range)
+        scan.bind_candidate_estimate(matches)
+        return scan
+
+    def _scan_plan(self, table_name: str, query: ConjunctiveQuery,
+                   merged: dict[str, KeyRange], scan: FullScanPath) -> Plan:
+        # A scan produces locations directly, so its candidates skip pointer
+        # resolution and pay the validation touch only.
+        total = (scan.estimated_cost()
+                 + self.cost_model.validate_per_candidate
+                 * scan.estimated_candidates())
+        return Plan(table_name=table_name, query=query, merged=merged,
+                    paths=[scan], estimated_cost=total)
+
+    def _best_single_column_paths(self, table_name: str,
+                                  merged: dict[str, KeyRange],
+                                  stats: dict) -> dict[str, AccessPath | None]:
+        """Cheapest mechanism path per predicate column (None = no index)."""
+        best: dict[str, AccessPath | None] = {}
+        for column, key_range in merged.items():
+            paths = [
+                MechanismPath(index_entry, key_range, stats[column],
+                              self.cost_model)
+                for index_entry in self.catalog.indexes_on_column(table_name,
+                                                                  column)
+                if index_entry.method is not IndexMethod.COMPOSITE
+            ]
+            best[column] = (min(paths, key=lambda path: path.estimated_cost())
+                            if paths else None)
+        return best
+
+    def _fold_in_composite_paths(self, table_name: str,
+                                 merged: dict[str, KeyRange], stats: dict,
+                                 best: dict[str, AccessPath | None]) -> None:
+        """Let composite indexes compete for pairs of predicate columns."""
+        for index_entry in self.catalog.indexes_on(table_name):
+            if index_entry.method is not IndexMethod.COMPOSITE:
+                continue
+            leading, second = index_entry.column, index_entry.second_column
+            if leading not in merged or second not in merged:
+                continue
+            composite = CompositePath(
+                index_entry, merged[leading], merged[second],
+                stats[leading], stats[second], self.cost_model,
+            )
+            pair_cost = sum(
+                best[column].estimated_cost() if best[column] is not None
+                else float("inf")
+                for column in (leading, second)
+            )
+            if composite.estimated_cost() < pair_cost:
+                best[leading] = composite
+                best[second] = composite

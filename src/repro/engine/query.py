@@ -1,13 +1,17 @@
 """Query predicates and results.
 
-The evaluation only ever needs single-column point and range predicates plus
-their conjunction with a leading column (the multi-column case of Section 3),
-so the query model is deliberately small.
+The query model covers what the evaluation and the planner need: single-column
+point and range predicates, and their conjunction over several columns (the
+multi-column case of Section 3).  A :class:`ConjunctiveQuery` is what the
+planner consumes; :meth:`ConjunctiveQuery.merged` normalises it to at most one
+:class:`~repro.index.base.KeyRange` per column so duplicate predicates on the
+same column collapse (and contradictory ones mark the query unsatisfiable).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 from repro.core.hermit import LookupBreakdown
 from repro.errors import QueryError
@@ -46,6 +50,71 @@ class RangePredicate:
 def point_predicate(column: str, value: float) -> RangePredicate:
     """Convenience constructor for ``column == value``."""
     return RangePredicate(column, value, value)
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunction (AND) of range predicates, the planner's input.
+
+    Attributes:
+        predicates: The conjuncts, in the order the caller supplied them.
+            Several predicates may name the same column; :meth:`merged`
+            intersects them.
+    """
+
+    predicates: tuple[RangePredicate, ...]
+
+    def __init__(self, predicates: Iterable[RangePredicate]) -> None:
+        conjuncts = tuple(predicates)
+        if not conjuncts:
+            raise QueryError("a conjunctive query needs at least one predicate")
+        for predicate in conjuncts:
+            if not isinstance(predicate, RangePredicate):
+                raise QueryError(
+                    f"conjuncts must be RangePredicate, got {predicate!r}"
+                )
+        object.__setattr__(self, "predicates", conjuncts)
+
+    def __iter__(self) -> Iterator[RangePredicate]:
+        return iter(self.predicates)
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    @property
+    def columns(self) -> list[str]:
+        """Distinct predicate columns, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for predicate in self.predicates:
+            seen.setdefault(predicate.column, None)
+        return list(seen)
+
+    def merged(self) -> dict[str, KeyRange] | None:
+        """One intersected :class:`KeyRange` per column, or ``None``.
+
+        ``None`` means the conjunction is unsatisfiable: two predicates on
+        the same column have disjoint ranges, so no row can match.
+        """
+        if len(self.predicates) == 1:
+            predicate = self.predicates[0]
+            return {predicate.column: predicate.key_range}
+        ranges: dict[str, KeyRange] = {}
+        for predicate in self.predicates:
+            key_range = predicate.key_range
+            existing = ranges.get(predicate.column)
+            if existing is not None:
+                intersection = existing.intersect(key_range)
+                if intersection is None:
+                    return None
+                ranges[predicate.column] = intersection
+            else:
+                ranges[predicate.column] = key_range
+        return ranges
+
+
+def conjunction(*predicates: RangePredicate) -> ConjunctiveQuery:
+    """Convenience constructor: ``conjunction(p1, p2, ...)``."""
+    return ConjunctiveQuery(predicates)
 
 
 @dataclass

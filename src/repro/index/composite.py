@@ -15,11 +15,14 @@ exactly like a two-key B+-tree so space comparisons stay fair.
 from __future__ import annotations
 
 import bisect
-from typing import Iterator
+import time
+from typing import Iterable, Iterator
 
-from repro.errors import KeyNotFoundError
-from repro.index.base import IndexStatistics, KeyRange
-from repro.storage.identifiers import TupleId
+import numpy as np
+
+from repro.errors import KeyNotFoundError, StorageError
+from repro.index.base import IndexStatistics, KeyRange, tid_items
+from repro.storage.identifiers import PointerScheme, TupleId
 from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
 
 
@@ -41,6 +44,40 @@ class CompositeIndex:
         """Insert the entry ``(leading, second) -> tid``."""
         self.stats.inserts += 1
         bisect.insort(self._entries, (float(leading), float(second), tid))
+
+    def insert_many(self, leading: Iterable[float], second: Iterable[float],
+                    tids: Iterable[TupleId]) -> None:
+        """Batched insert: append the batch and let Timsort merge the runs."""
+        batch = sorted(
+            (float(lead), float(sec), tid)
+            for lead, sec, tid in zip(leading, second, tid_items(list(tids)))
+        )
+        if not batch:
+            return
+        self.stats.inserts += len(batch)
+        self._entries.extend(batch)
+        self._entries.sort()
+
+    def bulk_load(self,
+                  triples: Iterable[tuple[float, float, TupleId]]) -> None:
+        """Build the index from ``(leading, second, tid)`` triples in one sort.
+
+        Raises:
+            StorageError: If the index already holds entries (rebuilding in
+                place would silently discard them).
+        """
+        if self._entries:
+            raise StorageError(
+                "bulk_load on a non-empty CompositeIndex would discard "
+                f"{len(self._entries)} existing entries; build a fresh index"
+            )
+        materialised = list(triples)
+        self._entries = sorted(
+            (float(lead), float(sec), tid)
+            for (lead, sec, _), tid in zip(
+                materialised, tid_items([t for _, _, t in materialised])
+            )
+        )
 
     def delete(self, leading: float, second: float, tid: TupleId) -> None:
         """Remove the entry ``(leading, second) -> tid``.
@@ -78,6 +115,28 @@ class CompositeIndex:
             results.extend(self.range_search(leading_range, second_range))
         return results
 
+    def range_search_array(self, leading_range: KeyRange,
+                           second_range: KeyRange) -> np.ndarray:
+        """Array-native conjunctive probe: bisect the leading run, mask the rest.
+
+        Two binary searches locate the contiguous leading-key run; the
+        second-key filter is one vectorized mask over that run instead of a
+        per-entry Python comparison — the planner's access-path contract.
+        """
+        self.stats.range_lookups += 1
+        start = bisect.bisect_left(self._entries, leading_range.low,
+                                   key=lambda entry: entry[0])
+        stop = bisect.bisect_right(self._entries, leading_range.high,
+                                   key=lambda entry: entry[0])
+        run = self._entries[start:stop]
+        if not run:
+            return np.empty(0, dtype=np.int64)
+        seconds = np.fromiter((entry[1] for entry in run),
+                              dtype=np.float64, count=len(run))
+        tids = np.asarray([entry[2] for entry in run])
+        mask = (seconds >= second_range.low) & (seconds <= second_range.high)
+        return tids[mask]
+
     def items(self) -> Iterator[tuple[float, float, TupleId]]:
         """Iterate entries in key order."""
         return iter(self._entries)
@@ -97,3 +156,111 @@ class CompositeIndex:
             leaf_model_bytes=self._size_model.leaf_model_bytes,
         )
         return two_key_model.btree_bytes(len(self._entries), self._node_capacity)
+
+
+class CompositeSecondaryIndex:
+    """Engine mechanism wrapping a :class:`CompositeIndex` on two columns.
+
+    Exposes the same maintenance surface as the single-column mechanisms
+    (``insert``/``insert_many``/``delete``/``update`` row notifications from
+    the database facade) plus the planner's pair access path: one probe that
+    answers a conjunctive predicate on ``(leading_column, second_column)``
+    exactly, with no false positives.
+
+    Args:
+        table: The base table.
+        leading_column: Leading key column of the composite index.
+        second_column: Second key column.
+        primary_index: Primary index, required for logical pointers.
+        pointer_scheme: Tuple-identifier scheme stored in the index.
+        size_model: Analytic memory model.
+    """
+
+    def __init__(self, table, leading_column: str, second_column: str,
+                 primary_index=None,
+                 pointer_scheme: PointerScheme = PointerScheme.PHYSICAL,
+                 size_model: SizeModel = DEFAULT_SIZE_MODEL) -> None:
+        if pointer_scheme.needs_primary_lookup and primary_index is None:
+            raise StorageError(
+                "logical pointers require a primary index to resolve locations"
+            )
+        self.table = table
+        self.leading_column = leading_column
+        self.second_column = second_column
+        self.primary_index = primary_index
+        self.pointer_scheme = pointer_scheme
+        self.index = CompositeIndex(size_model=size_model)
+
+    # ----------------------------------------------------------- construction
+
+    def build(self) -> None:
+        """Bulk-load the composite index from the current table contents."""
+        slots, leading, second = self.table.project(
+            [self.leading_column, self.second_column]
+        )
+        if self.pointer_scheme is PointerScheme.PHYSICAL:
+            tids = slots
+        else:
+            tids = self.table.values(slots, self.table.schema.primary_key)
+        self.index.bulk_load(zip(leading.tolist(), second.tolist(),
+                                 tids.tolist()))
+
+    # ------------------------------------------------------ planner interface
+
+    def candidate_tids_pair(self, leading_range: KeyRange,
+                            second_range: KeyRange, breakdown) -> np.ndarray:
+        """Candidate tids matching both ranges (exact; one array probe)."""
+        started = time.perf_counter()
+        tids = self.index.range_search_array(leading_range, second_range)
+        breakdown.host_index_seconds += time.perf_counter() - started
+        return tids
+
+    def estimate_candidates(self, leading_range: KeyRange,
+                            second_range: KeyRange, leading_stats,
+                            second_stats) -> float:
+        """Estimated candidates under predicate independence (exact index)."""
+        rows = leading_stats.row_count
+        return (rows * leading_stats.selectivity(leading_range)
+                * second_stats.selectivity(second_range))
+
+    # ------------------------------------------------------------ maintenance
+
+    def insert(self, row: dict, location: int) -> None:
+        """Index a newly inserted row."""
+        self.index.insert(float(row[self.leading_column]),
+                          float(row[self.second_column]),
+                          self._tid_for(row, location))
+
+    def insert_many(self, columns: dict, locations: np.ndarray) -> None:
+        """Batched :meth:`insert`: one sorted merge into the entry list."""
+        leading = np.asarray(columns[self.leading_column], dtype=np.float64)
+        second = np.asarray(columns[self.second_column], dtype=np.float64)
+        if self.pointer_scheme is PointerScheme.PHYSICAL:
+            tids = np.asarray(locations, dtype=np.int64)
+        else:
+            tids = np.asarray(columns[self.table.schema.primary_key],
+                              dtype=np.float64)
+        self.index.insert_many(leading.tolist(), second.tolist(),
+                               tids.tolist())
+
+    def delete(self, row: dict, location: int) -> None:
+        """Remove the index entry for a deleted row."""
+        self.index.delete(float(row[self.leading_column]),
+                          float(row[self.second_column]),
+                          self._tid_for(row, location))
+
+    def update(self, old_row: dict, new_row: dict, location: int) -> None:
+        """Re-index a row whose key columns may have changed."""
+        self.delete(old_row, location)
+        self.insert(new_row, location)
+
+    def _tid_for(self, row: dict, location: int) -> TupleId:
+        if self.pointer_scheme is PointerScheme.PHYSICAL:
+            return location
+        return row[self.table.schema.primary_key]
+
+    # ------------------------------------------------------------- accounting
+
+    def memory_bytes(self) -> int:
+        """Analytic size of the composite index in bytes."""
+        return self.index.memory_bytes()

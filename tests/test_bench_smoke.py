@@ -15,6 +15,7 @@ import numpy as np
 import pytest
 
 from repro.bench.hotpath import build_hotpath_setup, run_hotpath_suite
+from repro.bench.planner import run_paged_read_suite, run_planner_suite
 from repro.bench.writepath import run_writepath_suite
 from repro.index.base import Index
 from repro.index.bptree import BPlusTree
@@ -38,6 +39,11 @@ class TestVectorizedPathNotFallback:
         assert "range_search_array" in SortedColumnIndex.__dict__
         assert "range_search_many_array" in SortedColumnIndex.__dict__
         assert "search_many" in SortedColumnIndex.__dict__
+
+    def test_paged_bptree_overrides_array_range_search(self):
+        """The disk path's leaf-run gather must not regress to the fallback."""
+        assert "range_search_array" in PagedBPlusTree.__dict__
+        assert PagedBPlusTree.range_search_array is not Index.range_search_array
 
     def test_hash_index_overrides_batched_search(self):
         assert "search_many" in HashIndex.__dict__
@@ -103,6 +109,38 @@ class TestWritepathSmokeRun:
         # At tiny scale just require the batch path not to collapse; the 5x
         # acceptance target applies to the full-scale standalone run.
         assert all(m.speedup_batched > 0.5 for m in measurements)
+
+
+@pytest.mark.bench_smoke
+class TestPlannerSmokeRun:
+    def test_planner_parity_with_manual_plans(self):
+        """Planner plans agree with every manual plan and stay competitive.
+
+        The full-scale ``bench_planner.py`` run gates the 0.9x floor against
+        the best manual plan; at tiny scale per-query work is mostly call
+        dispatch, so this pins correctness parity plus a loose throughput
+        floor that still catches the planner collapsing to a scan or a
+        pathological plan.
+        """
+        measurements = run_planner_suite(num_tuples=SMOKE_ROWS,
+                                         selectivity=0.01,
+                                         num_queries=SMOKE_QUERIES)
+        assert {m.query_class for m in measurements} == {
+            "single", "point", "conjunctive"}
+        assert all(m.results_agree for m in measurements)
+        assert all(m.speedup_vs_best > 0.2 for m in measurements)
+        by_class = {m.query_class: m for m in measurements}
+        # Plan choice at tiny scale: the complete index must serve colC.
+        assert by_class["single"].chosen == "idx_colC_btree"
+        assert by_class["point"].chosen == "idx_colC_btree"
+
+    def test_paged_gather_agrees_at_tiny_scale(self):
+        measurement = run_paged_read_suite(num_tuples=SMOKE_ROWS,
+                                           selectivity=0.01,
+                                           num_queries=SMOKE_QUERIES)
+        assert measurement.results_agree
+        assert measurement.total_results > 0
+        assert measurement.speedup_gather > 0.5
 
 
 def _mid_range(setup) -> tuple[float, float]:

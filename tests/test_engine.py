@@ -101,6 +101,18 @@ class TestExecutorHelpers:
         assert choose_index([cm, hermit]) is hermit
         assert choose_index([]) is None
 
+    def test_choose_index_ranks_sorted_column_and_skips_composite(self):
+        sorted_entry = IndexEntry("s", "t", "x", IndexMethod.SORTED_COLUMN,
+                                  object())
+        btree = IndexEntry("b", "t", "x", IndexMethod.BTREE, object())
+        hermit = IndexEntry("h", "t", "x", IndexMethod.HERMIT, object())
+        composite = IndexEntry("p", "t", "x", IndexMethod.COMPOSITE, object(),
+                               second_column="y")
+        assert choose_index([hermit, btree, sorted_entry]) is sorted_entry
+        # A composite index cannot serve a single predicate alone.
+        assert choose_index([composite]) is None
+        assert choose_index([composite, hermit]) is hermit
+
 
 class TestDatabase:
     @pytest.fixture
@@ -200,6 +212,37 @@ class TestDatabase:
         assert location not in database.query(
             table_name, RangePredicate("colC", 654_320.0, 654_322.0)).locations
 
+    def test_sorted_column_index_method(self, loaded):
+        database, table_name, _ = loaded
+        entry = database.create_index("idx_d_sorted", table_name, "colD",
+                                      method=IndexMethod.SORTED_COLUMN)
+        assert entry.method is IndexMethod.SORTED_COLUMN
+        predicate = RangePredicate("colD", 0.2, 0.25)
+        indexed = database.query(table_name, predicate)
+        scanned = full_scan(database.table(table_name), predicate)
+        assert indexed.locations == scanned.locations
+        assert indexed.used_index == "idx_d_sorted"
+        # Maintenance keeps the sorted arrays consistent.
+        location = database.insert(table_name, {
+            "colA": 20_000_000.0, "colB": 5.0, "colC": 1.0, "colD": 0.21,
+        })
+        assert location in database.query(table_name, predicate).locations
+
+    def test_sorted_column_serves_as_hermit_host(self, loaded):
+        database, table_name, _ = loaded
+        database.drop_index(table_name, "idx_colB")
+        database.create_index("idx_colB_sorted", table_name, "colB",
+                              method=IndexMethod.SORTED_COLUMN,
+                              preexisting=True)
+        entry = database.create_index("idx_c", table_name, "colC",
+                                      method=IndexMethod.HERMIT,
+                                      host_column="colB")
+        assert entry.host_column == "colB"
+        predicate = RangePredicate("colC", 100_000.0, 150_000.0)
+        indexed = database.query_with(table_name, "idx_c", predicate)
+        scanned = full_scan(database.table(table_name), predicate)
+        assert indexed.locations == scanned.locations
+
     def test_memory_report_labels(self, loaded):
         database, table_name, _ = loaded
         database.create_index("idx_c", table_name, "colC",
@@ -217,8 +260,25 @@ class TestDatabase:
         table_name = load_synthetic(database, dataset)
         database.create_index("idx_c", table_name, "colC",
                               method=IndexMethod.HERMIT, host_column="colB")
-        predicate = RangePredicate("colC", 0.0, 100_000.0)
+        # Selective enough that the planner picks the Hermit path over a
+        # scan even with the logical scheme's per-candidate resolution cost.
+        predicate = RangePredicate("colC", 0.0, 10_000.0)
         indexed = database.query(table_name, predicate)
         scanned = full_scan(database.table(table_name), predicate)
         assert indexed.locations == scanned.locations
+        assert indexed.used_index == "idx_c"
         assert indexed.breakdown.primary_index_seconds > 0
+
+    def test_logical_pointer_scan_skips_resolution(self):
+        """An unselective predicate scans — and a scan never resolves tids."""
+        dataset = generate_synthetic(1000, "linear", seed=9)
+        database = Database(pointer_scheme=PointerScheme.LOGICAL)
+        table_name = load_synthetic(database, dataset)
+        database.create_index("idx_c", table_name, "colC",
+                              method=IndexMethod.HERMIT, host_column="colB")
+        predicate = RangePredicate("colC", 0.0, 900_000.0)
+        result = database.query(table_name, predicate)
+        assert result.used_index is None
+        assert result.breakdown.primary_index_seconds == 0
+        assert result.locations == full_scan(
+            database.table(table_name), predicate).locations

@@ -1,0 +1,408 @@
+"""Unit and integration tests for the planner subsystem.
+
+Covers the query model (ConjunctiveQuery merging), the catalog statistics,
+cost-based path selection (complete index over Hermit, sorted column over
+B+-tree, composite over single-column pairs, scan when nothing covers),
+plan caching/invalidation, and end-to-end correctness of planned conjunctive
+queries against a brute-force scan under both pointer schemes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.access_path import CompositePath, FullScanPath, MechanismPath
+from repro.engine.catalog import ColumnStats, IndexMethod
+from repro.engine.database import Database
+from repro.engine.query import ConjunctiveQuery, RangePredicate, conjunction
+from repro.errors import QueryError
+from repro.index.base import KeyRange
+from repro.storage.identifiers import PointerScheme
+from repro.workloads.synthetic import generate_synthetic, load_synthetic
+
+
+class TestConjunctiveQuery:
+    def test_requires_predicates(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([])
+
+    def test_merges_same_column(self):
+        query = conjunction(RangePredicate("x", 0.0, 10.0),
+                            RangePredicate("x", 5.0, 20.0))
+        merged = query.merged()
+        assert merged == {"x": KeyRange(5.0, 10.0)}
+
+    def test_disjoint_same_column_is_unsatisfiable(self):
+        query = conjunction(RangePredicate("x", 0.0, 1.0),
+                            RangePredicate("x", 2.0, 3.0))
+        assert query.merged() is None
+
+    def test_columns_keep_first_appearance_order(self):
+        query = conjunction(RangePredicate("b", 0.0, 1.0),
+                            RangePredicate("a", 0.0, 1.0),
+                            RangePredicate("b", 0.5, 2.0))
+        assert query.columns == ["b", "a"]
+        assert len(query) == 3
+
+
+class TestColumnStats:
+    def test_uniform_selectivity(self):
+        stats = ColumnStats(1000, 0.0, 100.0)
+        assert stats.selectivity(KeyRange(0.0, 10.0)) == pytest.approx(0.1)
+        assert stats.selectivity(KeyRange(200.0, 300.0)) == 0.0
+        assert stats.estimated_rows(KeyRange(0.0, 50.0)) == pytest.approx(500)
+
+    def test_point_floors_at_one_row(self):
+        stats = ColumnStats(1000, 0.0, 100.0)
+        assert stats.selectivity(KeyRange(5.0, 5.0)) == pytest.approx(1e-3)
+
+    def test_no_observations_falls_back_to_default(self):
+        stats = ColumnStats(1000, float("inf"), float("-inf"))
+        assert not stats.has_range
+        assert 0.0 < stats.selectivity(KeyRange(0.0, 1.0)) < 1.0
+
+    def test_degenerate_domain(self):
+        stats = ColumnStats(10, 5.0, 5.0)
+        assert stats.selectivity(KeyRange(0.0, 10.0)) == 1.0
+        assert stats.selectivity(KeyRange(6.0, 7.0)) == 0.0
+
+
+@pytest.fixture(scope="module")
+def planner_db():
+    """Synthetic table with Hermit + B+-tree on colC and sorted on colD."""
+    dataset = generate_synthetic(8000, "linear", noise_fraction=0.01, seed=11)
+    database = Database()
+    table_name = load_synthetic(database, dataset)
+    database.create_index("idx_colC_hermit", table_name, "colC",
+                          method=IndexMethod.HERMIT, host_column="colB")
+    database.create_index("idx_colC_btree", table_name, "colC",
+                          method=IndexMethod.BTREE)
+    database.create_index("idx_colD_sorted", table_name, "colD",
+                          method=IndexMethod.SORTED_COLUMN)
+    return database, table_name
+
+
+def brute_force(database, table_name, predicates) -> np.ndarray:
+    table = database.table(table_name)
+    columns = [predicate.column for predicate in predicates]
+    projected = table.project(columns)
+    slots = projected[0]
+    mask = np.ones(slots.shape, dtype=bool)
+    for predicate, values in zip(predicates, projected[1:]):
+        mask &= (values >= predicate.low) & (values <= predicate.high)
+    return np.sort(slots[mask])
+
+
+class TestPlanSelection:
+    def test_prefers_complete_index_over_hermit(self, planner_db):
+        database, table_name = planner_db
+        plan = database.explain(table_name,
+                                RangePredicate("colC", 0.0, 20_000.0))
+        assert plan.used_index == "idx_colC_btree"
+        assert not plan.is_full_scan
+
+    def test_point_lookup_prefers_complete_index(self, planner_db):
+        database, table_name = planner_db
+        plan = database.explain(table_name,
+                                RangePredicate("colC", 5_000.0, 5_000.0))
+        assert plan.used_index == "idx_colC_btree"
+
+    def test_sorted_column_is_chosen_on_its_column(self, planner_db):
+        database, table_name = planner_db
+        plan = database.explain(table_name, RangePredicate("colD", 0.1, 0.11))
+        assert plan.used_index == "idx_colD_sorted"
+
+    def test_no_index_falls_back_to_scan(self, planner_db):
+        database, table_name = planner_db
+        plan = database.explain(table_name,
+                                RangePredicate("colA", 0.0, 100.0))
+        assert plan.used_index is None
+        assert plan.is_full_scan
+
+    def test_unselective_predicate_scans(self, planner_db):
+        database, table_name = planner_db
+        plan = database.explain(table_name,
+                                RangePredicate("colC", 0.0, 999_999.0))
+        assert plan.is_full_scan
+
+    def test_conjunctive_drives_with_most_selective_column(self, planner_db):
+        database, table_name = planner_db
+        plan = database.explain(table_name, conjunction(
+            RangePredicate("colC", 0.0, 5_000.0),       # narrow
+            RangePredicate("colB", 0.0, 1_500_000.0),   # wide
+        ))
+        assert plan.used_index == "idx_colC_btree"
+        plan = database.explain(table_name, conjunction(
+            RangePredicate("colC", 0.0, 800_000.0),     # wide
+            RangePredicate("colB", 0.0, 15_000.0),      # narrow
+        ))
+        assert plan.used_index == "idx_colB"
+
+    def test_describe_names_every_path(self, planner_db):
+        database, table_name = planner_db
+        plan = database.explain(table_name, conjunction(
+            RangePredicate("colC", 0.0, 5_000.0),
+            RangePredicate("colB", 0.0, 1_500_000.0),
+        ))
+        explained = plan.describe()
+        assert "drive" in explained
+        assert "validate" in explained
+        assert plan.used_index in explained
+
+    def test_unsatisfiable_plan(self, planner_db):
+        database, table_name = planner_db
+        plan = database.explain(table_name, conjunction(
+            RangePredicate("colC", 0.0, 1.0),
+            RangePredicate("colC", 2.0, 3.0),
+        ))
+        assert plan.unsatisfiable
+        assert "unsatisfiable" in plan.describe()
+
+
+class TestPlanCache:
+    def test_same_shape_query_replays_cached_plan(self, planner_db):
+        database, table_name = planner_db
+        first = database.explain(table_name,
+                                 RangePredicate("colC", 0.0, 10_000.0))
+        second = database.explain(table_name,
+                                  RangePredicate("colC", 40_000.0, 50_000.0))
+        assert second.used_index == first.used_index
+        # The replayed plan is bound to the *new* predicate range.
+        path = second.paths[0]
+        assert path.key_range == KeyRange(40_000.0, 50_000.0)
+
+    def test_index_ddl_invalidates_cache(self):
+        dataset = generate_synthetic(3000, "linear", noise_fraction=0.01,
+                                     seed=12)
+        database = Database()
+        table_name = load_synthetic(database, dataset)
+        database.create_index("idx_c_hermit", table_name, "colC",
+                              method=IndexMethod.HERMIT, host_column="colB")
+        predicate = RangePredicate("colC", 0.0, 10_000.0)
+        assert database.explain(table_name, predicate).used_index == "idx_c_hermit"
+        database.create_index("idx_c_btree", table_name, "colC",
+                              method=IndexMethod.BTREE)
+        assert database.explain(table_name, predicate).used_index == "idx_c_btree"
+        database.drop_index(table_name, "idx_c_btree")
+        assert database.explain(table_name, predicate).used_index == "idx_c_hermit"
+
+    def test_selectivity_bucket_change_replans(self, planner_db):
+        database, table_name = planner_db
+        narrow = database.explain(table_name,
+                                  RangePredicate("colC", 0.0, 2_000.0))
+        wide = database.explain(table_name,
+                                RangePredicate("colC", 0.0, 999_999.0))
+        assert not narrow.is_full_scan
+        assert wide.is_full_scan
+
+
+class TestPlannedExecution:
+    @pytest.mark.parametrize("scheme", [PointerScheme.PHYSICAL,
+                                        PointerScheme.LOGICAL])
+    def test_conjunctive_matches_brute_force(self, scheme):
+        dataset = generate_synthetic(4000, "linear", noise_fraction=0.02,
+                                     seed=13)
+        database = Database(pointer_scheme=scheme)
+        table_name = load_synthetic(database, dataset)
+        database.create_index("idx_colC", table_name, "colC",
+                              method=IndexMethod.HERMIT, host_column="colB")
+        cases = [
+            [RangePredicate("colC", 100_000.0, 200_000.0)],
+            [RangePredicate("colC", 0.0, 50_000.0),
+             RangePredicate("colB", 0.0, 80_000.0)],
+            [RangePredicate("colC", 100_000.0, 400_000.0),
+             RangePredicate("colD", 0.2, 0.7)],
+            [RangePredicate("colB", 0.0, 300_000.0),
+             RangePredicate("colC", 100_000.0, 120_000.0),
+             RangePredicate("colD", 0.0, 0.9)],
+        ]
+        for predicates in cases:
+            planned = database.query_conjunctive(table_name, predicates)
+            expected = brute_force(database, table_name, predicates)
+            assert np.array_equal(planned.locations, expected), predicates
+            assert planned.locations.dtype == np.int64
+
+    def test_result_is_sorted_unique_array(self, planner_db):
+        database, table_name = planner_db
+        planned = database.query_conjunctive(
+            table_name, [RangePredicate("colC", 0.0, 100_000.0)]
+        )
+        locations = planned.locations
+        assert isinstance(locations, np.ndarray)
+        assert np.all(np.diff(locations) > 0)
+
+    def test_unsatisfiable_returns_empty(self, planner_db):
+        database, table_name = planner_db
+        planned = database.query_conjunctive(table_name, conjunction(
+            RangePredicate("colC", 0.0, 1.0),
+            RangePredicate("colC", 5.0, 6.0),
+        ))
+        assert len(planned) == 0
+        assert planned.locations.dtype == np.int64
+
+    def test_single_predicate_accepted_directly(self, planner_db):
+        database, table_name = planner_db
+        predicate = RangePredicate("colC", 0.0, 50_000.0)
+        direct = database.query_conjunctive(table_name, predicate)
+        wrapped = database.query_conjunctive(table_name, [predicate])
+        assert np.array_equal(direct.locations, wrapped.locations)
+
+    def test_planned_queries_feed_mechanism_observation(self):
+        """Single-mechanism plans update the mechanism's cumulative stats.
+
+        The observed false-positive ratio drives ``estimate_candidates``,
+        so planner-routed queries must record it like ``lookup_range`` does
+        — otherwise a leaky Hermit index would be priced at the default
+        ratio forever.
+        """
+        dataset = generate_synthetic(3000, "linear", noise_fraction=0.02,
+                                     seed=15)
+        database = Database()
+        table_name = load_synthetic(database, dataset)
+        entry = database.create_index("idx_c", table_name, "colC",
+                                      method=IndexMethod.HERMIT,
+                                      host_column="colB")
+        assert entry.mechanism.cumulative.candidates == 0
+        database.query_conjunctive(
+            table_name, RangePredicate("colC", 0.0, 200_000.0)
+        )
+        assert entry.mechanism.cumulative.lookups == 1
+        assert entry.mechanism.cumulative.candidates > 0
+
+    def test_validate_only_rejections_do_not_pollute_observation(self):
+        """Rows rejected by an uncovered predicate are not the mechanism's FPs."""
+        dataset = generate_synthetic(3000, "linear", noise_fraction=0.02,
+                                     seed=15)
+        database = Database()
+        table_name = load_synthetic(database, dataset)
+        entry = database.create_index("idx_c", table_name, "colC",
+                                      method=IndexMethod.HERMIT,
+                                      host_column="colB")
+        database.query_conjunctive(table_name, conjunction(
+            RangePredicate("colC", 0.0, 200_000.0),
+            RangePredicate("colD", 0.0, 1e-9),   # rejects nearly everything
+        ))
+        # The plan covered only colC with the Hermit path, so the colD
+        # rejections must not be booked as Hermit false positives.
+        assert entry.mechanism.cumulative.candidates == 0
+
+    def test_plan_cache_replay_bound_triggers_replan(self):
+        """A cached plan is repriced after its replay bound."""
+        from repro.engine.planner import _MAX_PLAN_REPLAYS
+
+        dataset = generate_synthetic(3000, "linear", noise_fraction=0.02,
+                                     seed=16)
+        database = Database()
+        table_name = load_synthetic(database, dataset)
+        database.create_index("idx_c", table_name, "colC",
+                              method=IndexMethod.HERMIT, host_column="colB")
+        predicate = RangePredicate("colC", 0.0, 100_000.0)
+        first = database.explain(table_name, predicate)
+
+        def cache_entry():
+            entries = [cached for key, cached in
+                       database.planner._cache.items()
+                       if key[:2] == (table_name, ("colC",))]
+            assert len(entries) == 1
+            return entries[0]
+
+        cached = cache_entry()
+        for _ in range(_MAX_PLAN_REPLAYS + 1):
+            database.explain(table_name, predicate)
+        assert cache_entry() is not cached  # a fresh template was planned
+        assert database.explain(table_name, predicate).used_index == \
+            first.used_index
+
+    def test_alternating_query_shapes_each_hit_their_own_slot(self):
+        dataset = generate_synthetic(3000, "linear", noise_fraction=0.02,
+                                     seed=17)
+        database = Database()
+        table_name = load_synthetic(database, dataset)
+        database.create_index("idx_c", table_name, "colC",
+                              method=IndexMethod.BTREE)
+        calls = 0
+        original = database.planner._plan_fresh
+
+        def counting(*args, **kwargs):
+            nonlocal calls
+            calls += 1
+            return original(*args, **kwargs)
+
+        database.planner._plan_fresh = counting
+        for _ in range(10):
+            database.explain(table_name,
+                             RangePredicate("colC", 0.0, 100_000.0))
+            database.explain(table_name,
+                             RangePredicate("colC", 5_000.0, 5_000.0))
+        assert calls == 2  # one fresh plan per shape, the rest replayed
+
+    def test_scan_plan_skips_revalidation(self, planner_db):
+        """A scan already applied every predicate; candidates == results."""
+        database, table_name = planner_db
+        planned = database.query_conjunctive(
+            table_name, RangePredicate("colA", 0.0, 100.0)
+        )
+        assert planned.plan.is_full_scan
+        assert planned.breakdown.candidates == planned.breakdown.results
+
+    def test_breakdown_phases_are_charged(self, planner_db):
+        database, table_name = planner_db
+        planned = database.query_conjunctive(
+            table_name, [RangePredicate("colC", 0.0, 100_000.0)]
+        )
+        assert planned.breakdown.lookups == 1
+        assert planned.breakdown.candidates >= planned.breakdown.results
+        assert planned.breakdown.results == len(planned)
+        assert planned.breakdown.host_index_seconds > 0
+
+    def test_legacy_query_routes_through_planner(self, planner_db):
+        database, table_name = planner_db
+        predicate = RangePredicate("colC", 0.0, 100_000.0)
+        result = database.query(table_name, predicate)
+        assert result.used_index == "idx_colC_btree"
+        expected = brute_force(database, table_name, [predicate])
+        assert result.locations == expected.tolist()
+
+    def test_intersection_under_logical_pointers(self):
+        """Selective predicates on two indexed columns intersect tid sets."""
+        dataset = generate_synthetic(20_000, "linear", noise_fraction=0.01,
+                                     seed=14)
+        database = Database(pointer_scheme=PointerScheme.LOGICAL)
+        table_name = load_synthetic(database, dataset)
+        database.create_index("idx_colC", table_name, "colC",
+                              method=IndexMethod.HERMIT, host_column="colB")
+        # Each predicate alone matches far more rows than the conjunction
+        # (the colB window covers only the top of the colC window's image),
+        # so probing the host index costs less than resolving the Hermit
+        # candidates it strips — the regime where intersection pays.
+        predicates = [RangePredicate("colC", 100_000.0, 150_000.0),
+                      RangePredicate("colB", 280_000.0, 360_000.0)]
+        plan = database.explain(table_name, predicates)
+        assert len(plan.paths) == 2  # Hermit driver + host-index intersect
+        path_kinds = {path.entry.method for path in plan.paths}
+        assert path_kinds == {IndexMethod.HERMIT, IndexMethod.BTREE}
+        planned = database.query_conjunctive(table_name, predicates)
+        expected = brute_force(database, table_name, predicates)
+        assert np.array_equal(planned.locations, expected)
+
+
+class TestAccessPathRebind:
+    def test_mechanism_rebind_keeps_estimates(self, planner_db):
+        database, table_name = planner_db
+        entry = database.catalog.indexes_on_column(table_name, "colC")[0]
+        stats = database.catalog.column_stats(table_name, "colC")
+        path = MechanismPath(entry, KeyRange(0.0, 10_000.0), stats)
+        clone = path.rebind({"colC": KeyRange(1.0, 2.0)})
+        assert clone.key_range == KeyRange(1.0, 2.0)
+        assert clone.estimated_cost() == path.estimated_cost()
+        assert clone.entry is entry
+
+    def test_scan_rebind_covers_new_predicates(self, planner_db):
+        database, table_name = planner_db
+        table = database.table(table_name)
+        path = FullScanPath(table, {"colC": KeyRange(0.0, 1.0)})
+        clone = path.rebind({"colC": KeyRange(5.0, 6.0),
+                             "colD": KeyRange(0.0, 0.5)})
+        assert clone.columns == ("colC", "colD")
+        assert clone.produces_locations

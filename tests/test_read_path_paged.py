@@ -1,0 +1,121 @@
+"""Paged read-path equivalence tests (ROADMAP: paged-index array path).
+
+``PagedBPlusTree.range_search_array`` replaced the scalar ``Index`` fallback
+with a leaf-run gather mirroring the in-memory ``BPlusTree``.  In the style
+of the write-path equivalence suite, the property here is exact agreement:
+for any data and any closed range, the paged gather, the paged scalar scan,
+the in-memory tree and a brute-force filter must return the same multiset of
+tuple identifiers — and the gather must not change the simulated page-access
+accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.index.base import Index, KeyRange
+from repro.index.bptree import BPlusTree
+from repro.index.paged_bptree import PagedBPlusTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import DiskManager
+
+SETTINGS = settings(max_examples=25, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+keys_strategy = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+    min_size=0, max_size=150,
+)
+
+bounds_strategy = st.tuples(
+    st.floats(min_value=-110.0, max_value=110.0, allow_nan=False),
+    st.floats(min_value=-110.0, max_value=110.0, allow_nan=False),
+)
+
+
+def make_paged_tree(node_capacity: int = 8,
+                    pool_capacity: int = 128) -> PagedBPlusTree:
+    return PagedBPlusTree(BufferPool(DiskManager(), capacity=pool_capacity),
+                          node_capacity=node_capacity)
+
+
+class TestPagedRangeSearchArray:
+    @SETTINGS
+    @given(keys=keys_strategy, bounds=bounds_strategy)
+    def test_gather_matches_scalar_and_in_memory(self, keys, bounds):
+        paged = make_paged_tree()
+        in_memory = BPlusTree(node_capacity=8)
+        for tid, key in enumerate(keys):
+            paged.insert(key, tid)
+            in_memory.insert(key, tid)
+        key_range = KeyRange(*bounds)
+
+        expected = sorted(tid for tid, key in enumerate(keys)
+                          if key_range.contains(key))
+        gathered = sorted(paged.range_search_array(key_range).tolist())
+        assert gathered == expected
+        assert gathered == sorted(paged.range_search(key_range))
+        assert gathered == sorted(in_memory.range_search_array(key_range).tolist())
+
+    @SETTINGS
+    @given(keys=keys_strategy, bounds=bounds_strategy)
+    def test_gather_matches_base_fallback(self, keys, bounds):
+        """The override returns exactly what the scalar fallback returned."""
+        paged = make_paged_tree()
+        paged.insert_many(np.asarray(keys, dtype=np.float64),
+                          np.arange(len(keys)))
+        key_range = KeyRange(*bounds)
+        fallback = Index.range_search_array(paged, key_range)
+        gathered = paged.range_search_array(key_range)
+        assert sorted(gathered.tolist()) == sorted(fallback.tolist())
+        assert gathered.dtype == np.int64
+
+    def test_duplicate_keys_return_every_tid(self):
+        paged = make_paged_tree()
+        for tid in range(40):
+            paged.insert(5.0, tid)
+        found = paged.range_search_array(KeyRange(5.0, 5.0))
+        assert sorted(found.tolist()) == list(range(40))
+
+    def test_empty_result_is_int64(self):
+        paged = make_paged_tree()
+        paged.insert(1.0, 0)
+        found = paged.range_search_array(KeyRange(50.0, 60.0))
+        assert found.size == 0
+        assert found.dtype == np.int64
+
+    def test_range_search_many_array_unions_ranges(self):
+        paged = make_paged_tree()
+        keys = np.linspace(0.0, 10.0, 200)
+        paged.insert_many(keys, np.arange(200))
+        ranges = [KeyRange(0.0, 1.0), KeyRange(5.0, 6.0)]
+        found = paged.range_search_many_array(ranges)
+        expected = sorted(
+            tid for tid, key in enumerate(keys.tolist())
+            if any(r.contains(key) for r in ranges)
+        )
+        assert sorted(found.tolist()) == expected
+
+    def test_page_accounting_matches_scalar_path(self):
+        """The gather touches exactly the pages the scalar scan touched."""
+        rng = np.random.default_rng(5)
+        keys = rng.uniform(0.0, 1.0, 3_000)
+        key_range = KeyRange(0.25, 0.75)
+
+        scalar_tree = make_paged_tree(node_capacity=16, pool_capacity=16)
+        scalar_tree.insert_many(keys, np.arange(3_000))
+        scalar_tree.pool.stats.reset()
+        scalar_tree.range_search(key_range)
+        scalar_requests = (scalar_tree.pool.stats.hits
+                           + scalar_tree.pool.stats.misses)
+
+        gather_tree = make_paged_tree(node_capacity=16, pool_capacity=16)
+        gather_tree.insert_many(keys, np.arange(3_000))
+        gather_tree.pool.stats.reset()
+        gather_tree.range_search_array(key_range)
+        gather_requests = (gather_tree.pool.stats.hits
+                           + gather_tree.pool.stats.misses)
+        assert gather_requests == scalar_requests
