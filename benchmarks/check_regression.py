@@ -49,6 +49,12 @@ GATED_METRICS = {
     "planner": {"speedup_vs_best": 0.9, "speedup_vs_worst": 0.9},
     "planner_point": {"speedup_vs_worst": 0.9},
     "paged_read": {"speedup_gather": 0.9},
+    # Hermit-vs-baseline throughput ratio on the power-law sensor workload:
+    # the adaptive leaf models hold the gap at <= 3x (measured 2.3-2.6x at
+    # the CI batch size, i.e. ratios 0.38-0.43), down from ~8x and worse
+    # under fixed linear bands — the floor is the acceptance criterion
+    # itself and keeps the gap from silently reopening.
+    "sensor_fp": {"hermit_vs_baseline": 1.0 / 3.0},
 }
 # Measurement fields that identify "the same measurement" across runs.
 KEY_FIELDS = ("workload", "mechanism", "pointer_scheme", "host_index")

@@ -5,10 +5,15 @@ from repro.core.hermit import HermitIndex, HermitLookupResult, LookupBreakdown
 from repro.core.node import TRSInternalNode, TRSLeafNode, TRSNode
 from repro.core.outliers import OutlierBuffer
 from repro.core.regression import (
+    LeafModel,
     LinearModel,
+    LogLinearModel,
+    OutlierOnlyModel,
+    PiecewiseLinearModel,
     epsilon_for_error_bound,
     fit_leaf_model,
     fit_linear,
+    select_leaf_model,
 )
 from repro.core.reorganize import BackgroundReorganizer, ReorganizationStats
 from repro.core.trs_tree import TRSLookupResult, TRSTree
@@ -18,9 +23,13 @@ __all__ = [
     "DEFAULT_CONFIG",
     "HermitIndex",
     "HermitLookupResult",
+    "LeafModel",
     "LinearModel",
+    "LogLinearModel",
     "LookupBreakdown",
     "OutlierBuffer",
+    "OutlierOnlyModel",
+    "PiecewiseLinearModel",
     "ReorganizationStats",
     "TRSInternalNode",
     "TRSLeafNode",
@@ -31,4 +40,5 @@ __all__ = [
     "epsilon_for_error_bound",
     "fit_leaf_model",
     "fit_linear",
+    "select_leaf_model",
 ]

@@ -29,6 +29,23 @@ class TRSTreeConfig:
             range returned for a *point* query; controls the confidence
             interval epsilon of every leaf (see
             :func:`repro.core.regression.epsilon_for_error_bound`).
+        max_fp_ratio: Candidate-count-aware false-positive budget.  At build
+            time each prospective leaf estimates the false-positive
+            candidates its band drags in — band width x the leaf's own
+            host-value density, so a leaf-spanning probe picks up
+            ``estimated_fp = 2 * epsilon * covered / host_span`` extra
+            candidates (see
+            :func:`repro.core.regression.estimate_leaf_false_positives`).
+            The leaf splits when ``estimated_fp / covered`` exceeds this
+            ratio even if the plain outlier ratio passes; a leaf that
+            exceeds it but cannot split (too few tuples, or at
+            ``max_height``) is demoted to an exact outlier-only leaf
+            instead of keeping a band that floods the host index.  The same
+            budget bounds how far a noise-floor leaf's band may widen past
+            the error-bound width (see
+            :func:`repro.core.regression.select_leaf_model`).  ``inf``
+            effectively disables the criterion (the pre-adaptive
+            behaviour).
         sample_fraction: Optional sampling rate for the construction-time
             outlier pre-estimation optimisation (Appendix D.2).  ``None``
             disables sampling; ``0.05`` reproduces the paper's default of 5%.
@@ -40,6 +57,7 @@ class TRSTreeConfig:
     max_height: int = 10
     outlier_ratio: float = 0.1
     error_bound: float = 2.0
+    max_fp_ratio: float = 0.5
     sample_fraction: float | None = None
     min_split_size: int = 32
 
@@ -52,6 +70,8 @@ class TRSTreeConfig:
             raise ConfigurationError("outlier_ratio must be in [0, 1]")
         if self.error_bound < 0:
             raise ConfigurationError("error_bound must be non-negative")
+        if self.max_fp_ratio <= 0:
+            raise ConfigurationError("max_fp_ratio must be positive")
         if self.sample_fraction is not None and not (0.0 < self.sample_fraction <= 1.0):
             raise ConfigurationError("sample_fraction must be in (0, 1]")
         if self.min_split_size < 2:

@@ -366,15 +366,23 @@ class HermitIndex:
                 ``selectivity``).
 
         The exact-match estimate is inflated by the mechanism's observed
-        false-positive ratio (confidence-interval widening plus outliers),
-        falling back to :data:`DEFAULT_FALSE_POSITIVE_RATIO` before any
-        lookup has run — that is what lets the planner compare a Hermit
-        path against a complete host index honestly.
+        false-positive ratio (confidence-interval widening plus outliers).
+        Before any lookup has run, the TRS-Tree's *build-time* estimate
+        (each leaf's band width x its own host density, aggregated by
+        :meth:`~repro.core.trs_tree.TRSTree.estimated_fp_ratio`) stands in
+        for the observation — but only ever to make Hermit look *worse*
+        than :data:`DEFAULT_FALSE_POSITIVE_RATIO`: a tree whose chosen leaf
+        models still admit wide bands is priced honestly from the start,
+        while a clean tree keeps the conservative default until a real
+        lookup confirms it.
         """
         if self.cumulative.candidates > 0:
             false_positives = min(self.cumulative.false_positive_ratio, 0.9)
         else:
             false_positives = self.DEFAULT_FALSE_POSITIVE_RATIO
+            estimated = self.trs_tree.estimated_fp_ratio()
+            if estimated is not None:
+                false_positives = min(max(false_positives, estimated), 0.9)
         exact = stats.row_count * stats.selectivity(key_range)
         return exact / max(1.0 - false_positives, 0.1)
 
@@ -493,12 +501,20 @@ class HermitIndex:
         )
 
     def update(self, old_row: dict, new_row: dict, location: int) -> None:
-        """Notify the index that a row changed in place."""
-        tid = self._tid_for(new_row, location)
+        """Notify the index that a row changed in place.
+
+        The old and new tuple identifiers are passed separately: under
+        logical pointers a primary-key change renames the tid, and the
+        delete half of the update must target the entry stored under the
+        *old* identifier (probing with the new one would leave the stale
+        outlier entry behind).
+        """
+        old_tid = self._tid_for(old_row, location)
+        new_tid = self._tid_for(new_row, location)
         self.trs_tree.update(
             float(old_row[self.target_column]), float(old_row[self.host_column]),
             float(new_row[self.target_column]), float(new_row[self.host_column]),
-            tid,
+            old_tid, new_tid=new_tid,
         )
 
     def _tid_for(self, row: dict, location: int) -> TupleId:

@@ -1,23 +1,65 @@
-"""Linear-regression machinery used by TRS-Tree leaf nodes.
+"""Leaf-model machinery used by TRS-Tree leaf nodes.
 
-Each leaf models the host column ``N`` as an approximate linear function of
-the target column ``M`` over the leaf's sub-range ``r``:
+Each leaf models the host column ``N`` as an approximate function of the
+target column ``M`` over the leaf's sub-range ``r`` with a constant-width
+confidence band::
 
-    n = beta * m + alpha +/- epsilon
+    n = f(m) +/- epsilon
 
-``beta`` and ``alpha`` come from a one-pass ordinary-least-squares fit
-(Section 4.1); ``epsilon`` is derived from the user's ``error_bound`` so that a
-point probe on ``M`` is expected to cover ``error_bound`` host values when the
-host values are uniformly distributed (Section 4.5).
+The paper's model (Section 4.1) is linear, ``f(m) = beta * m + alpha``, with
+``beta``/``alpha`` from a one-pass ordinary-least-squares fit and ``epsilon``
+derived from the user's ``error_bound`` (Section 4.5).  On non-linear
+correlations (the Sensor workload's power-law responses) a fixed linear band
+either misses most tuples or, worse, balloons ``epsilon`` until a single leaf
+probe drags in a large slice of the host domain as false positives.  This
+module therefore supports *adaptive* leaf modeling: every leaf fits the
+linear model **and** a log-linear model (``n ~ beta * log m + alpha``) **and**
+a small piecewise-linear model, and keeps whichever needs the smallest band
+to cover the same fraction of its tuples (equal-coverage band-area
+minimisation).  All models satisfy the :class:`LeafModel` protocol, so the
+tree, the insert/lookup paths and Hermit's false-positive accounting stay
+model-agnostic.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.index.base import KeyRange
+
+
+@runtime_checkable
+class LeafModel(Protocol):
+    """The surface every TRS-Tree leaf model exposes.
+
+    A leaf model is a fitted mapping from target values to host values plus a
+    constant confidence half-width ``epsilon``.  The tree only ever talks to
+    this protocol — concrete families (linear, log-linear, piecewise-linear,
+    outlier-only) are interchangeable.
+    """
+
+    epsilon: float
+
+    def predict(self, m: float) -> float:
+        """Predicted host value for target value ``m``."""
+        ...
+
+    def covers(self, m: float, n: float) -> bool:
+        """Whether ``(m, n)`` lies inside the confidence band."""
+        ...
+
+    def covers_many(self, m: np.ndarray, n: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`covers`."""
+        ...
+
+    def host_range(self, target_range: KeyRange) -> KeyRange:
+        """Host-column range covering all predictions over ``target_range``."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -50,7 +92,188 @@ class LinearModel:
         hi = self.predict(target_range.high)
         if lo > hi:
             lo, hi = hi, lo
-        return KeyRange(lo - self.epsilon, hi + self.epsilon)
+        return band_range(lo, hi, self.epsilon)
+
+
+@dataclass(frozen=True)
+class LogLinearModel:
+    """A leaf model ``n = beta * log(1 + m - shift) + alpha +/- epsilon``.
+
+    ``shift`` anchors the logarithm at the leaf's lower bound so the feature
+    is well-defined over the whole sub-range regardless of the target
+    domain's sign; values below ``shift`` (out-of-domain inserts routed into
+    an edge leaf) are clamped to the anchor, which makes the extrapolated
+    prediction constant there — the same "stay sane outside the built
+    domain" behaviour the linear model gets for free.
+    """
+
+    beta: float
+    alpha: float
+    epsilon: float
+    shift: float
+
+    def _feature(self, m: float) -> float:
+        # Same ufunc as the vectorised path: math.log1p and np.log1p can
+        # disagree by an ulp, which beta amplifies enough to flip a
+        # band-edge covers() decision between the scalar and batched paths.
+        return float(np.log1p(max(m - self.shift, 0.0)))
+
+    def predict(self, m: float) -> float:
+        """Predicted host value for target value ``m``."""
+        return self.beta * self._feature(m) + self.alpha
+
+    def covers(self, m: float, n: float) -> bool:
+        """Whether ``(m, n)`` lies inside the confidence band."""
+        return abs(n - self.predict(m)) <= self.epsilon
+
+    def covers_many(self, m: np.ndarray, n: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`covers`."""
+        features = log_feature(np.asarray(m, dtype=np.float64), self.shift)
+        return np.abs(n - (self.beta * features + self.alpha)) <= self.epsilon
+
+    def host_range(self, target_range: KeyRange) -> KeyRange:
+        """Host-column range covering all predictions over ``target_range``.
+
+        The model is monotone in ``m`` (the log feature is nondecreasing), so
+        the extremes are at the range endpoints for either sign of ``beta``.
+        """
+        lo = self.predict(target_range.low)
+        hi = self.predict(target_range.high)
+        if lo > hi:
+            lo, hi = hi, lo
+        return band_range(lo, hi, self.epsilon)
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearModel:
+    """An equal-width piecewise-linear leaf model with one shared band.
+
+    The leaf's target sub-range is split into ``len(betas)`` equal-width
+    segments, each carrying its own OLS line; one ``epsilon`` bounds the band
+    of every segment so the band *area* stays directly comparable with the
+    single-line families.  The first and last segments extrapolate beyond the
+    fitted range, mirroring the edge behaviour of the other models.
+    """
+
+    bounds: tuple[float, ...]
+    betas: tuple[float, ...]
+    alphas: tuple[float, ...]
+    epsilon: float
+
+    @property
+    def num_segments(self) -> int:
+        """Number of linear segments."""
+        return len(self.betas)
+
+    def _segment(self, m: float) -> int:
+        # Comparisons against the stored bounds — the same partition the
+        # fitting step used (piecewise_segment_indices).  A boundary value
+        # must be scored by the segment it was fitted into, or coverage
+        # drifts off the band quantile by a tuple and knife-edge split
+        # decisions flip; a boundary value belongs to the right-hand
+        # segment, like the tree's child routing.
+        index = int(np.searchsorted(self.bounds[1:-1], m, side="right"))
+        return min(index, self.num_segments - 1)
+
+    def _segments_many(self, m: np.ndarray) -> np.ndarray:
+        return piecewise_segment_indices(m, self.bounds)
+
+    def predict(self, m: float) -> float:
+        """Predicted host value for target value ``m``."""
+        segment = self._segment(m)
+        return self.betas[segment] * m + self.alphas[segment]
+
+    def covers(self, m: float, n: float) -> bool:
+        """Whether ``(m, n)`` lies inside the confidence band."""
+        return abs(n - self.predict(m)) <= self.epsilon
+
+    def covers_many(self, m: np.ndarray, n: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`covers`."""
+        m = np.asarray(m, dtype=np.float64)
+        segments = self._segments_many(m)
+        betas = np.asarray(self.betas)[segments]
+        alphas = np.asarray(self.alphas)[segments]
+        return np.abs(n - (betas * m + alphas)) <= self.epsilon
+
+    def host_range(self, target_range: KeyRange) -> KeyRange:
+        """Host-column range covering all predictions over ``target_range``.
+
+        Each segment is linear, so its extremes over the clipped overlap are
+        at the overlap endpoints; the answer is the min/max over every
+        overlapped segment, padded by ``epsilon``.  Independently fitted
+        segments may be discontinuous at the boundaries — evaluating both
+        sides of every interior boundary keeps the range a superset of all
+        predictions.
+        """
+        first = self._segment(target_range.low)
+        last = self._segment(target_range.high)
+        lo = math.inf
+        hi = -math.inf
+        for segment in range(first, last + 1):
+            seg_lo = target_range.low if segment == first \
+                else self.bounds[segment]
+            seg_hi = target_range.high if segment == last \
+                else self.bounds[segment + 1]
+            for m in (seg_lo, seg_hi):
+                predicted = self.betas[segment] * m + self.alphas[segment]
+                lo = min(lo, predicted)
+                hi = max(hi, predicted)
+        return band_range(lo, hi, self.epsilon)
+
+
+@dataclass(frozen=True)
+class OutlierOnlyModel:
+    """A degenerate model covering nothing: the leaf stores tuples exactly.
+
+    Chosen when even the best candidate band would drag in more estimated
+    false positives than ``max_fp_ratio`` allows *and* the node cannot split
+    (too few tuples, or at ``max_height``).  Every tuple lands in the leaf's
+    outlier buffer, lookups answer from the buffer alone, and the leaf emits
+    no host range at all — the exact-but-buffered extreme the paper
+    describes for ``error_bound = 0``.
+    """
+
+    epsilon: float = 0.0
+
+    def predict(self, m: float) -> float:
+        """No prediction: the band is empty."""
+        return 0.0
+
+    def covers(self, m: float, n: float) -> bool:
+        """Never covers — every tuple is an outlier."""
+        return False
+
+    def covers_many(self, m: np.ndarray, n: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`covers` (all False)."""
+        return np.zeros(len(m), dtype=bool)
+
+    def host_range(self, target_range: KeyRange) -> KeyRange:
+        """Empty-band host range; never emitted (the leaf covers no tuple)."""
+        return KeyRange(0.0, 0.0)
+
+
+def log_feature(m: np.ndarray, shift: float) -> np.ndarray:
+    """The log-linear feature ``log(1 + max(m - shift, 0))``, vectorised."""
+    return np.log1p(np.maximum(m - shift, 0.0))
+
+
+def band_range(lo: float, hi: float, epsilon: float) -> KeyRange:
+    """The host range ``[lo - epsilon, hi + epsilon]``, rounding-padded.
+
+    ``covers`` tests ``|n - predict(m)| <= epsilon`` while ``host_range``
+    computes ``predict(m) +/- epsilon`` — two float expressions of the same
+    real interval.  A tuple sitting exactly on the band edge (which the
+    equal-coverage band construction makes routine: the chosen epsilon *is*
+    one of the residuals) can satisfy the first while ``predict + epsilon``
+    rounds below its host value, silently dropping it from the probe; under
+    cancellation (``predict ~ -128``, ``epsilon ~ 131``, edge ~ 3) the gap
+    reaches many ulps *of the result*, so the pad must scale with the
+    operands, not the result.  Validation removes the sliver of extra host
+    values the padding could admit.
+    """
+    scale = max(abs(lo), abs(hi), epsilon)
+    pad = 4.0 * np.finfo(np.float64).eps * scale
+    return KeyRange(lo - epsilon - pad, hi + epsilon + pad)
 
 
 def fit_linear(m: np.ndarray, n: np.ndarray) -> tuple[float, float]:
@@ -111,6 +334,24 @@ def epsilon_for_error_bound(beta: float, target_range: KeyRange, num_tuples: int
     return abs(beta) * width * error_bound / (2.0 * num_tuples)
 
 
+def epsilon_for_host_span(host_span: float, num_tuples: int,
+                          error_bound: float) -> float:
+    """Generalise :func:`epsilon_for_error_bound` to non-linear models.
+
+    For a linear model the predicted host span over the leaf is
+    ``|beta| * (ub - lb)``, so the Section 4.5 derivation is really
+
+        epsilon = host_span * error_bound / (2 * n)
+
+    with the uniform-host-density assumption expressed through ``host_span``
+    directly.  Any model family can therefore derive its band from the total
+    variation of its predictions over the leaf's sub-range.
+    """
+    if num_tuples <= 0:
+        return 0.0
+    return abs(host_span) * error_bound / (2.0 * num_tuples)
+
+
 def fit_linear_trimmed(m: np.ndarray, n: np.ndarray, trim_fraction: float,
                        iterations: int = 2) -> tuple[float, float]:
     """OLS fit that is robust to a small fraction of gross outliers.
@@ -158,7 +399,10 @@ def fit_linear_trimmed(m: np.ndarray, n: np.ndarray, trim_fraction: float,
 def fit_leaf_model(m: np.ndarray, n: np.ndarray, target_range: KeyRange,
                    error_bound: float,
                    trim_fraction: float = 0.0) -> LinearModel:
-    """Fit the full leaf model (slope, intercept and epsilon) in one call.
+    """Fit the paper's linear leaf model (slope, intercept, epsilon).
+
+    This is the fixed-family fitter the original TRS-Tree uses; the adaptive
+    build path goes through :func:`select_leaf_model` instead.
 
     Args:
         m: Target values covered by the leaf.
@@ -173,3 +417,290 @@ def fit_leaf_model(m: np.ndarray, n: np.ndarray, target_range: KeyRange,
         beta, alpha = fit_linear(m, n)
     epsilon = epsilon_for_error_bound(beta, target_range, len(m), error_bound)
     return LinearModel(beta=beta, alpha=alpha, epsilon=epsilon)
+
+
+# ----------------------------------------------------------- model selection
+
+# Segment counts tried by the piecewise-linear candidate: 4 segments when the
+# leaf holds enough tuples to fit them stably, 2 otherwise.
+PIECEWISE_MANY_SEGMENTS = 4
+PIECEWISE_FEW_SEGMENTS = 2
+PIECEWISE_MIN_TUPLES_PER_SEGMENT = 16
+
+# Splitting is judged futile when the piecewise candidate — a dry run of the
+# sub-ranges a split would create — cannot shrink the linear band below this
+# fraction: residuals that survive segmentation are a noise floor, not
+# curvature.
+SPLIT_GAIN_THRESHOLD = 0.5
+
+# A noise-floor band may widen only while its leaf-spanning candidate drag
+# stays within this fraction of the max_fp_ratio split budget.  The two
+# budgets answer different questions: max_fp_ratio is the pathology net that
+# forces a split/demotion, while widening is a *voluntary* trade (fewer
+# leaves and buffer entries for a few extra candidates) that is only worth
+# taking when the band is thin relative to the leaf — measurement jitter at
+# a per-mille of the host span, not injected gross noise at a third of it.
+WIDEN_BUDGET_FRACTION = 0.1
+
+
+@dataclass(frozen=True)
+class LeafModelFit:
+    """One candidate model plus the statistics the tree's build step needs.
+
+    Attributes:
+        model: The fitted model (band epsilon already derived from the
+            error bound).
+        kind: Family label (``"linear"``, ``"log"``, ``"piecewise"``).
+        band_epsilon: Half-width the band would need to cover the coverage
+            target — the equal-coverage band-area score (smaller is better;
+            the models share the leaf width, so area is proportional to it).
+    """
+
+    model: LeafModel
+    kind: str
+    band_epsilon: float
+
+
+def _coverage_epsilon(residuals: np.ndarray, coverage: float) -> float:
+    """Band half-width needed to cover ``coverage`` of the tuples.
+
+    Uses the ``higher`` quantile method (an actual order statistic) so that
+    at least ``ceil(coverage * n)`` residuals are ``<=`` the returned value
+    — the interpolated default can land half a tuple short of the coverage
+    target, which is exactly enough to flip a knife-edge outlier-ratio
+    split decision.
+    """
+    if residuals.size == 0:
+        return 0.0
+    return float(np.quantile(residuals, min(max(coverage, 0.0), 1.0),
+                             method="higher"))
+
+
+def _piecewise_segments(num_tuples: int) -> int:
+    if num_tuples >= (PIECEWISE_MANY_SEGMENTS
+                      * PIECEWISE_MIN_TUPLES_PER_SEGMENT):
+        return PIECEWISE_MANY_SEGMENTS
+    return PIECEWISE_FEW_SEGMENTS
+
+
+def piecewise_segment_indices(m: np.ndarray,
+                              bounds: tuple[float, ...]) -> np.ndarray:
+    """Segment index per value — comparisons against the segment bounds.
+
+    The one partition rule shared by fitting, residual scoring and the
+    model's own ``covers_many``: searchsorted over the interior bounds, a
+    value on a bound belonging to the right-hand segment (mirroring the
+    tree's child routing).  Values outside ``[bounds[0], bounds[-1]]``
+    clamp to the edge segments, which extrapolate.
+    """
+    segments = len(bounds) - 1
+    if segments <= 1 or bounds[-1] <= bounds[0]:
+        return np.zeros(len(m), dtype=np.int64)
+    return np.searchsorted(np.asarray(bounds[1:-1]), m,
+                           side="right").astype(np.int64)
+
+
+def _fit_piecewise(m: np.ndarray, n: np.ndarray, target_range: KeyRange,
+                   trim_fraction: float,
+                   segments: int) -> tuple[tuple, tuple, tuple, np.ndarray]:
+    """Fit one trimmed OLS line per equal-width segment.
+
+    Segments with fewer than two points inherit the whole-leaf line so their
+    extrapolated predictions stay anchored to the data.
+
+    Returns:
+        ``(bounds, betas, alphas, indices)`` — ``indices`` is the segment
+        assignment used for the fit, so callers score residuals on exactly
+        the fitting partition instead of re-deriving it.
+    """
+    width = target_range.width
+    bounds = tuple(
+        target_range.low + width * position / segments
+        for position in range(segments)
+    ) + (target_range.high,)
+    fallback_beta, fallback_alpha = fit_linear_trimmed(m, n, trim_fraction)
+    indices = piecewise_segment_indices(m, bounds)
+    betas: list[float] = []
+    alphas: list[float] = []
+    for segment in range(segments):
+        mask = indices == segment
+        if int(mask.sum()) >= 2:
+            beta, alpha = fit_linear_trimmed(m[mask], n[mask], trim_fraction)
+        else:
+            beta, alpha = fallback_beta, fallback_alpha
+        betas.append(beta)
+        alphas.append(alpha)
+    return bounds, tuple(betas), tuple(alphas), indices
+
+
+def _predicted_span(model: LeafModel, target_range: KeyRange) -> float:
+    """Total predicted host variation over the leaf (band-free)."""
+    if isinstance(model, PiecewiseLinearModel):
+        span = 0.0
+        for segment in range(model.num_segments):
+            lo = model.betas[segment] * model.bounds[segment] \
+                + model.alphas[segment]
+            hi = model.betas[segment] * model.bounds[segment + 1] \
+                + model.alphas[segment]
+            span += abs(hi - lo)
+        return span
+    return abs(model.predict(target_range.high)
+               - model.predict(target_range.low))
+
+
+def _robust_host_span(n: np.ndarray, trim_fraction: float) -> float:
+    """Observed host span with the trim fraction of extreme values removed.
+
+    Gross outliers (sensor glitches) would otherwise inflate the span —
+    and therefore deflate the density the false-positive budget is priced
+    against.
+    """
+    if n.size == 0:
+        return 0.0
+    if trim_fraction > 0.0 and n.size >= 8:
+        lo, hi = np.quantile(n, [0.5 * trim_fraction, 1.0 - 0.5 * trim_fraction])
+        return float(hi - lo)
+    return float(n.max() - n.min())
+
+
+def select_leaf_model(m: np.ndarray, n: np.ndarray, target_range: KeyRange,
+                      error_bound: float, trim_fraction: float = 0.0,
+                      max_fp_ratio: float | None = None) -> LeafModelFit:
+    """Fit the candidate model families and keep the tightest band.
+
+    Selection rule: every candidate is scored by the band half-width it would
+    need to cover ``1 - trim_fraction`` of the leaf's tuples (its
+    equal-coverage band area — the candidates share the leaf's width, so
+    area is proportional to the half-width).  The winner's *actual* epsilon
+    is then derived from the error bound via :func:`epsilon_for_host_span`,
+    keeping the paper's expected-false-positive semantics per point probe.
+
+    When the coverage band exceeds the error-bound band, the leaf's
+    residuals are dominated by something the error-bound derivation cannot
+    see — either curvature (splitting helps: narrower sub-ranges reduce it
+    quadratically) or an irreducible noise floor (splitting is futile: every
+    child inherits the same jitter and the tree only multiplies leaves).
+    The two are told apart by the piecewise candidate, whose segments *are*
+    a dry run of a split: when even the segmented fit cannot halve the
+    linear band, the residuals are a floor no amount of splitting will
+    reduce.  With ``max_fp_ratio`` set, such a floor-bound band *widens* to
+    its coverage quantile — but only when the whole quantile fits the
+    widening budget ``2 * epsilon / host_span <=
+    WIDEN_BUDGET_FRACTION * max_fp_ratio`` (scale-free: band width x the
+    leaf's own host density, per covered tuple).  The trade is
+    all-or-nothing: a band capped short of its coverage quantile would pay
+    extra false positives on every probe and still buffer the stragglers,
+    so gross injected noise right at the coverage boundary keeps the tight
+    error-bound band and outlier entries instead.  Curvature-bound leaves
+    never widen; they miss their coverage target and split through the
+    outlier-ratio criterion — exactly the case splitting can fix.
+
+    The linear family short-circuits the alternatives when its error-bound
+    band already meets the coverage target — on linearly correlated leaves
+    (the Stock workload, Synthetic-Linear) this keeps the build cost of the
+    adaptive path identical to the fixed-family path.
+
+    Args:
+        m: Target values covered by the leaf.
+        n: Host values aligned with ``m``.
+        target_range: The leaf's sub-range on the target column.
+        error_bound: Expected false-positive count per point probe.
+        trim_fraction: Outlier fraction the band is allowed to leave out;
+            also the robustness trim of every fit.
+        max_fp_ratio: Tolerated false-positive excess of a widened band,
+            relative to ``error_bound``; ``None`` disables widening (the
+            band always comes straight from the error bound).
+    """
+    m = np.asarray(m, dtype=np.float64)
+    n = np.asarray(n, dtype=np.float64)
+    coverage = 1.0 - max(trim_fraction, 0.0)
+
+    beta, alpha = (fit_linear_trimmed(m, n, trim_fraction)
+                   if trim_fraction > 0.0 else fit_linear(m, n))
+    linear_residuals = (np.abs(n - (beta * m + alpha)) if len(m)
+                        else np.zeros(0))
+    linear_band = _coverage_epsilon(linear_residuals, coverage)
+    linear_epsilon = epsilon_for_error_bound(beta, target_range, len(m),
+                                             error_bound)
+    linear = LeafModelFit(
+        model=LinearModel(beta=beta, alpha=alpha, epsilon=linear_epsilon),
+        kind="linear", band_epsilon=linear_band,
+    )
+    # Fast path: the error-bound band already covers the target fraction, or
+    # the leaf is too small for the alternatives to fit anything stable.
+    if len(m) < 8 or linear_band <= linear_epsilon:
+        return linear
+
+    candidates = [linear]
+
+    shift = target_range.low
+    features = log_feature(m, shift)
+    log_beta, log_alpha = fit_linear_trimmed(features, n, trim_fraction)
+    log_residuals = np.abs(n - (log_beta * features + log_alpha))
+    log_band = _coverage_epsilon(log_residuals, coverage)
+    log_model = LogLinearModel(beta=log_beta, alpha=log_alpha,
+                               epsilon=0.0, shift=shift)
+    candidates.append(LeafModelFit(model=log_model, kind="log",
+                                   band_epsilon=log_band))
+
+    segments = _piecewise_segments(len(m))
+    bounds, betas, alphas, indices = _fit_piecewise(m, n, target_range,
+                                                    trim_fraction, segments)
+    piecewise_model = PiecewiseLinearModel(bounds=bounds, betas=betas,
+                                           alphas=alphas, epsilon=0.0)
+    piecewise_residuals = np.abs(
+        n - (np.asarray(betas)[indices] * m + np.asarray(alphas)[indices])
+    )
+    piecewise_band = _coverage_epsilon(piecewise_residuals, coverage)
+    candidates.append(LeafModelFit(model=piecewise_model, kind="piecewise",
+                                   band_epsilon=piecewise_band))
+
+    # Smallest equal-coverage band wins; list order breaks ties in favour of
+    # the cheaper family (linear < log < piecewise).
+    best = min(candidates, key=lambda fit: fit.band_epsilon)
+    span = _predicted_span(best.model, target_range)
+    epsilon = epsilon_for_host_span(span, len(m), error_bound)
+    splitting_is_futile = piecewise_band >= SPLIT_GAIN_THRESHOLD * linear_band
+    if (max_fp_ratio is not None and splitting_is_futile
+            and best.band_epsilon > epsilon):
+        host_span = _robust_host_span(n, trim_fraction)
+        if host_span > 0.0:
+            # Widen to the coverage quantile iff a leaf-spanning probe's
+            # candidate drag stays within the widening budget:
+            # 2 * eps / host_span <= WIDEN_BUDGET_FRACTION * max_fp_ratio.
+            # All-or-nothing on purpose: when even the coverage quantile
+            # blows the budget (injected gross noise right at the coverage
+            # boundary), a budget-capped band would not reach the coverage
+            # target anyway — it would pay the extra false positives on
+            # every probe and still buffer the stragglers, so the tight
+            # error-bound band plus outlier entries is strictly better.
+            budget = 0.5 * WIDEN_BUDGET_FRACTION * max_fp_ratio * host_span
+            if best.band_epsilon <= budget:
+                epsilon = best.band_epsilon
+    return LeafModelFit(model=dataclasses.replace(best.model, epsilon=epsilon),
+                        kind=best.kind, band_epsilon=best.band_epsilon)
+
+
+def estimate_leaf_false_positives(model: LeafModel,
+                                  covered_hosts: np.ndarray) -> float:
+    """Estimated false-positive candidates a leaf-spanning probe drags in.
+
+    The band's host width exceeds the predictions by ``2 * epsilon``; with
+    the leaf's own host-value density (covered tuples over their observed
+    host span — no catalog round-trip needed at build time) the extra
+    candidates a probe covering the whole leaf picks up are::
+
+        estimated_fp = 2 * epsilon * num_covered / host_span
+
+    The host span is floored at ``epsilon`` itself: a band wider than the
+    covered hosts it serves (a glitch-dragged fit covering one or two
+    tuples) prices at least its own width, which caps the estimate at
+    ``2 * num_covered`` — decisively over any sane ``max_fp_ratio`` —
+    instead of letting a degenerate zero span hide the damage.
+    """
+    num_covered = int(len(covered_hosts))
+    if num_covered == 0 or model.epsilon <= 0.0:
+        return 0.0
+    host_span = float(covered_hosts.max() - covered_hosts.min())
+    host_span = max(host_span, model.epsilon)
+    return 2.0 * model.epsilon * num_covered / host_span

@@ -1,11 +1,14 @@
 """The Tiered Regression Search Tree (TRS-Tree).
 
 The TRS-Tree is the paper's core data structure (Section 4): a k-ary tree over
-the *target* column's value domain whose leaves each hold a tiny linear
-regression model mapping target values to host values, plus an outlier buffer
-for the tuples the model cannot cover.  Construction (Algorithm 1) recursively
-partitions the domain until every leaf's model covers at least
-``1 - outlier_ratio`` of its tuples or ``max_height`` is reached; lookups
+the *target* column's value domain whose leaves each hold a tiny regression
+model mapping target values to host values (adaptively chosen per leaf from
+the linear / log-linear / piecewise-linear families, see
+``core/regression.py``), plus an outlier buffer for the tuples the model
+cannot cover.  Construction (Algorithm 1) recursively partitions the domain
+until every leaf's model covers at least ``1 - outlier_ratio`` of its tuples
+— and would not drag in more than ``max_fp_ratio`` estimated false positives
+per covered tuple — or ``max_height`` is reached; lookups
 (Algorithm 2) translate a target-column predicate into a small set of
 host-column ranges plus outlier tuple identifiers; maintenance (Algorithm 3)
 touches only the affected leaf's outlier buffer and defers structural changes
@@ -27,8 +30,13 @@ from repro.core.node import (
     TRSLeafNode,
     TRSNode,
     equal_width_subranges,
+    route_indices,
 )
-from repro.core.regression import fit_leaf_model
+from repro.core.regression import (
+    OutlierOnlyModel,
+    estimate_leaf_false_positives,
+    select_leaf_model,
+)
 from repro.errors import StorageError
 from repro.index.base import KeyRange
 from repro.storage.identifiers import TupleId
@@ -133,7 +141,23 @@ class TRSTree:
     def _build_node(self, key_range: KeyRange, targets: np.ndarray,
                     hosts: np.ndarray, tids: np.ndarray, height: int,
                     parallelism: int = 1) -> TRSNode:
-        """Build the subtree for ``key_range`` over the given tuples."""
+        """Build the subtree for ``key_range`` over the given tuples.
+
+        Two criteria can reject a prospective leaf (Section 4.1 extended by
+        the adaptive-leaf-model design, docs/architecture.md):
+
+        * the *outlier ratio* — the best candidate band leaves more than
+          ``outlier_ratio`` of the tuples uncovered, and
+        * the *false-positive ratio* — the band would drag in more than
+          ``max_fp_ratio * covered`` estimated false-positive candidates
+          (band width x the leaf's own host-value density), even though the
+          outlier ratio passes.
+
+        A node failing either criterion splits while it can; a node that
+        fails the false-positive criterion but cannot split is demoted to an
+        exact outlier-only leaf (every tuple buffered, no host range ever
+        emitted) rather than keeping a band that floods the host index.
+        """
         can_split = (
             height < self.config.max_height
             and len(targets) >= self.config.min_split_size
@@ -143,37 +167,64 @@ class TRSTree:
         if can_split and self._sampling_says_split(key_range, targets, hosts):
             return self._split(key_range, targets, hosts, tids, height, parallelism)
 
-        model = fit_leaf_model(
+        fit = select_leaf_model(
             targets, hosts, key_range, self.config.error_bound,
             trim_fraction=self.config.outlier_ratio,
+            max_fp_ratio=self.config.max_fp_ratio,
         )
+        model = fit.model
         covered = model.covers_many(targets, hosts) if len(targets) else np.zeros(0, bool)
-        num_outliers = int(len(targets) - covered.sum())
+        num_model_covered = int(covered.sum())
+        num_outliers = int(len(targets) - num_model_covered)
+        fp_estimate = estimate_leaf_false_positives(model, hosts[covered])
+        too_many_fps = (
+            num_model_covered > 0
+            and fp_estimate > self.config.max_fp_ratio * num_model_covered
+        )
 
-        if can_split and num_outliers > self.config.outlier_ratio * len(targets):
+        if can_split and (
+            num_outliers > self.config.outlier_ratio * len(targets)
+            or too_many_fps
+        ):
             return self._split(key_range, targets, hosts, tids, height, parallelism)
+
+        if too_many_fps:
+            # Cannot split: store the tuples exactly instead of keeping a
+            # band whose false positives would swamp its true matches.
+            model = OutlierOnlyModel()
+            covered = np.zeros(len(targets), dtype=bool)
+            num_model_covered = 0
+            fp_estimate = 0.0
 
         leaf = TRSLeafNode(key_range, height, model, self.size_model)
         leaf.num_covered = int(len(targets))
-        if num_outliers:
-            for value, tid in zip(targets[~covered], tids[~covered]):
-                leaf.add_outlier(float(value), self._native(tid))
+        leaf.num_model_covered = num_model_covered
+        leaf.fp_estimate = fp_estimate
+        if len(targets) > num_model_covered:
+            # One batched buffer fill — a demoted (outlier-only) leaf files
+            # *every* tuple here, so the per-tuple scalar path would be an
+            # O(n log n) Python loop on each build and reorganization.
+            leaf.outliers.add_many(targets[~covered], tids[~covered])
         return leaf
 
     def _split(self, key_range: KeyRange, targets: np.ndarray, hosts: np.ndarray,
                tids: np.ndarray, height: int, parallelism: int) -> TRSInternalNode:
-        """Split a range into ``node_fanout`` children and build each."""
+        """Split a range into ``node_fanout`` children and build each.
+
+        Tuples are partitioned with the shared :func:`route_indices` rule —
+        the same arithmetic the scalar traversal and the batched insert path
+        use — so a value on a child boundary is filed into the same child by
+        every code path.
+        """
         node = TRSInternalNode(key_range, height)
         subranges = equal_width_subranges(key_range, self.config.node_fanout)
+        indices = route_indices(targets, key_range, len(subranges))
 
         def build_child(position: int) -> TRSNode:
-            sub = subranges[position]
-            if position == len(subranges) - 1:
-                mask = (targets >= sub.low) & (targets <= sub.high)
-            else:
-                mask = (targets >= sub.low) & (targets < sub.high)
+            mask = indices == position
             return self._build_node(
-                sub, targets[mask], hosts[mask], tids[mask], height + 1
+                subranges[position], targets[mask], hosts[mask], tids[mask],
+                height + 1,
             )
 
         if parallelism > 1 and len(targets) > 4 * self.config.min_split_size:
@@ -200,11 +251,12 @@ class TRSTree:
         sample_size = max(self.config.min_split_size, int(len(targets) * fraction))
         rng = np.random.default_rng(len(targets))
         positions = rng.choice(len(targets), size=sample_size, replace=False)
-        sample_model = fit_leaf_model(
+        sample_fit = select_leaf_model(
             targets[positions], hosts[positions], key_range, self.config.error_bound,
             trim_fraction=self.config.outlier_ratio,
+            max_fp_ratio=self.config.max_fp_ratio,
         )
-        covered = sample_model.covers_many(targets[positions], hosts[positions])
+        covered = sample_fit.model.covers_many(targets[positions], hosts[positions])
         outliers = sample_size - int(covered.sum())
         return outliers > self.config.outlier_ratio * sample_size
 
@@ -239,10 +291,15 @@ class TRSTree:
                 result.leaves_visited += 1
                 # ``overlap`` is clipped to the predicate (finite) but may
                 # extend beyond the leaf's built range on the tree's edges;
-                # extrapolating the linear band there mirrors the insert
+                # extrapolating the model's band there mirrors the insert
                 # path, which uses the same band to decide whether an
-                # out-of-domain tuple needs an outlier entry.
-                result.host_ranges.append(leaf.get_host_range(overlap))
+                # out-of-domain tuple needs an outlier entry.  A leaf whose
+                # band covers no tuple (built empty, all-outlier, or demoted
+                # to an outlier-only model) holds nothing behind its host
+                # range — emitting it would only hand the host index a
+                # spurious probe per empty leaf.
+                if leaf.num_model_covered > 0:
+                    result.host_ranges.append(leaf.get_host_range(overlap))
                 result.outlier_tids.extend(leaf.outliers.lookup(overlap))
             else:
                 internal: TRSInternalNode = node  # type: ignore[assignment]
@@ -274,7 +331,9 @@ class TRSTree:
         leaf = self._traverse(target_value)
         if leaf is None:
             return
-        if not leaf.covers(target_value, host_value):
+        if leaf.covers(target_value, host_value):
+            leaf.num_model_covered += 1
+        else:
             leaf.add_outlier(target_value, tid)
         leaf.num_inserted += 1
         self._maybe_flag_split(leaf)
@@ -283,9 +342,11 @@ class TRSTree:
                     tids: Sequence[TupleId]) -> None:
         """Batched :meth:`insert` (Algorithm 3, column-at-a-time).
 
-        The batch is routed down the tree by partitioning the target array at
-        every internal node with one vectorized arithmetic step (the same
-        clamped equal-width routing as :meth:`TRSInternalNode.child_for`);
+        The batch is routed down the tree by partitioning the target array
+        at every internal node with one vectorized ``searchsorted`` against
+        the node's cached partition bounds — the same comparison-based rule
+        as :meth:`TRSInternalNode.child_for`, so scalar and batched inserts
+        file every value (boundary values included) into the same leaf;
         each reached leaf then classifies its whole run with one
         ``covers_many`` call and stores only the uncovered tuples, so the
         per-row Python traversal and per-row model evaluation of the scalar
@@ -306,20 +367,16 @@ class TRSTree:
         if node.is_leaf:
             leaf: TRSLeafNode = node  # type: ignore[assignment]
             covered = leaf.covers_many(targets, hosts)
-            if not covered.all():
+            num_covered = int(covered.sum())
+            if num_covered < targets.size:
                 leaf.outliers.add_many(targets[~covered], tids[~covered])
+            leaf.num_model_covered += num_covered
             leaf.num_inserted += int(targets.size)
             self._maybe_flag_split(leaf)
             return
         internal: TRSInternalNode = node  # type: ignore[assignment]
         fanout = len(internal.children)
-        width = internal.key_range.width
-        if width <= 0 or fanout == 0:
-            indices = np.zeros(targets.size, dtype=np.int64)
-        else:
-            offsets = (targets - internal.key_range.low) / width
-            indices = (offsets * fanout).astype(np.int64)
-            np.clip(indices, 0, fanout - 1, out=indices)
+        indices = internal.route_batch(targets)
         for position in range(fanout):
             mask = indices == position
             if mask.any():
@@ -330,20 +387,78 @@ class TRSTree:
         """Delete a tuple (Algorithm 3).
 
         Removes the outlier entry if one exists; covered tuples leave no trace
-        in the tree, so there is nothing else to undo.
+        in the tree, so there is nothing else to undo.  ``num_deleted`` is
+        only charged when the pair was plausibly present — as a removed
+        outlier entry, or as a pair the model's band covers — so deletes of
+        pairs the tree never stored (the no-op halves of no-op updates)
+        cannot inflate ``deleted_ratio()`` into spurious merge flags.  (For
+        band-covered pairs the tree keeps no per-tuple record, so repeated
+        deletes of one covered pair still count each time; a merge flag is
+        advisory — reorganization re-reads the base table — so the
+        imprecision cannot affect query results.)
         """
         leaf = self._traverse(target_value)
         if leaf is None:
             return
-        leaf.outliers.remove(target_value, tid)
-        leaf.num_deleted += 1
-        self._maybe_flag_merge(leaf)
+        if self._remove_from_leaf(leaf, target_value, host_value, tid):
+            leaf.num_deleted += 1
+            self._maybe_flag_merge(leaf)
 
     def update(self, old_target: float, old_host: float, new_target: float,
-               new_host: float, tid: TupleId) -> None:
-        """Update a tuple's target and/or host value."""
-        self.delete(old_target, old_host, tid)
-        self.insert(new_target, new_host, tid)
+               new_host: float, tid: TupleId,
+               new_tid: TupleId | None = None) -> None:
+        """Update a tuple's target and/or host value (and optionally its tid).
+
+        An update that stays inside one leaf only *moves* the tuple — the
+        leaf's population is unchanged, so neither ``num_deleted`` nor
+        ``num_inserted`` is charged (charging both, as delete+insert would,
+        double-counts the tuple and inflates ``deleted_ratio()`` toward
+        spurious merges).  An update that crosses leaves is a genuine
+        delete from one leaf plus an insert into another and is counted as
+        such on each side.
+
+        Args:
+            new_tid: Tuple identifier after the update; defaults to ``tid``
+                (it differs when the primary key changed under logical
+                pointers).
+        """
+        if new_tid is None:
+            new_tid = tid
+        old_leaf = self._traverse(old_target)
+        if old_leaf is None:
+            return
+        new_leaf = self._traverse(new_target)
+        removed = self._remove_from_leaf(old_leaf, old_target, old_host, tid)
+        if new_leaf is old_leaf:
+            if new_leaf.covers(new_target, new_host):
+                new_leaf.num_model_covered += 1
+            else:
+                new_leaf.add_outlier(new_target, new_tid)
+            self._maybe_flag_split(new_leaf)
+            return
+        if removed:
+            old_leaf.num_deleted += 1
+            self._maybe_flag_merge(old_leaf)
+        self.insert(new_target, new_host, new_tid)
+
+    def _remove_from_leaf(self, leaf: TRSLeafNode, target_value: float,
+                          host_value: float, tid: TupleId) -> bool:
+        """Remove one pair from ``leaf``; True when it was plausibly present.
+
+        A pair lives in a leaf either as an outlier entry or implicitly
+        behind the model's band; anything else (a value the tree never saw)
+        is a no-op and must not touch the counters.  ``num_model_covered``
+        is deliberately NOT decremented for band-covered deletes: the band
+        keeps no per-tuple record, so a decrement cannot be validated and
+        over-deleting one covered pair would drive the counter to zero
+        while covered tuples still exist — silencing the leaf's host probe
+        and losing them.  Keeping the counter a monotone upper bound means
+        its zero/non-zero probe gate can only err on the emit-the-probe
+        side, which validation absorbs.
+        """
+        if leaf.outliers.remove(target_value, tid):
+            return True
+        return leaf.covers(target_value, host_value)
 
     def _traverse(self, target_value: float) -> TRSLeafNode | None:
         node = self._root
@@ -484,6 +599,26 @@ class TRSTree:
         """Total number of outlier entries across all leaves."""
         return sum(len(leaf.outliers) for leaf in self.leaves())
 
+    def estimated_fp_ratio(self) -> float | None:
+        """Build-time estimate of the fraction of candidates that are FPs.
+
+        Aggregates every leaf's ``fp_estimate`` (band width x own host
+        density, recorded when the leaf's model was chosen) against the
+        tuples actually behind the bands, matching the semantics of
+        ``LookupBreakdown.false_positive_ratio``: estimated false positives
+        over estimated total candidates.  ``None`` when the tree holds no
+        covered tuples (nothing to estimate from) — callers fall back to
+        their conservative default.
+        """
+        covered = 0
+        false_positives = 0.0
+        for leaf in self.leaves():
+            covered += leaf.num_model_covered
+            false_positives += leaf.fp_estimate
+        if covered <= 0:
+            return None
+        return false_positives / (covered + false_positives)
+
     def memory_bytes(self) -> int:
         """Analytic size of the whole tree in bytes."""
         total = 0
@@ -494,8 +629,3 @@ class TRSTree:
             else:
                 total += self.size_model.trs_internal_bytes(self.config.node_fanout)
         return total
-
-    @staticmethod
-    def _native(tid):
-        """Convert numpy scalars to native Python ints/floats for storage."""
-        return tid.item() if hasattr(tid, "item") else tid

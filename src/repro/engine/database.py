@@ -326,11 +326,26 @@ class Database:
         entry.table.delete(location)
 
     def update(self, table_name: str, location: int, changes: dict) -> None:
-        """Update a row in place, maintaining all indexes."""
+        """Update a row in place, maintaining all indexes.
+
+        Primary-key changes are supported and maintained delete/insert-style
+        (mirroring :meth:`delete`): the old key's entry is removed from the
+        primary index and the new key is inserted pointing at the same row
+        location.  Without this, the primary index stays keyed on the stale
+        value — under logical pointers every secondary-index hit on the row
+        then fails to resolve (the row silently vanishes from query
+        results), and a later :meth:`delete` misses the index entry.
+        """
         entry = self.catalog.table_entry(table_name)
         old_row = entry.table.fetch(location)
         entry.table.update(location, changes)
         new_row = entry.table.fetch(location)
+        primary = entry.table.schema.primary_key
+        old_key = float(old_row[primary])
+        new_key = float(new_row[primary])
+        if old_key != new_key:
+            entry.primary_index.delete(old_key, location)
+            entry.primary_index.insert(new_key, location)
         for index_entry in entry.indexes.values():
             index_entry.mechanism.update(old_row, new_row, location)
 

@@ -47,7 +47,10 @@ class SensorDataset:
 
 def generate_sensor(num_tuples: int = 100_000, num_sensors: int = NUM_SENSORS,
                     noise_scale: float = 0.005, glitch_fraction: float = 0.01,
-                    glitch_scale: float = 60.0, seed: int = 42) -> SensorDataset:
+                    glitch_scale: float = 60.0, seed: int = 42,
+                    gain_range: tuple[float, float] = (1.0, 3.0),
+                    exponent_range: tuple[float, float] = (0.6, 0.9),
+                    ) -> SensorDataset:
     """Generate the Sensor dataset.
 
     Each sensor ``i`` responds to the latent gas concentration ``c`` through a
@@ -65,6 +68,12 @@ def generate_sensor(num_tuples: int = 100_000, num_sensors: int = NUM_SENSORS,
         glitch_fraction: Fraction of readings replaced by a glitch.
         glitch_scale: Magnitude of a glitch deviation.
         seed: RNG seed.
+        gain_range: Per-sensor response gain is drawn uniformly from this
+            interval.
+        exponent_range: Per-sensor power-law exponent is drawn uniformly from
+            this interval; lower exponents mean a steeper, more strongly
+            non-linear response (``benchmarks/bench_sensor_fp.py`` uses this
+            to stress the adaptive leaf models beyond the default workload).
     """
     rng = np.random.default_rng(seed)
     concentration = rng.uniform(1.0, 1000.0, size=num_tuples)
@@ -74,8 +83,8 @@ def generate_sensor(num_tuples: int = 100_000, num_sensors: int = NUM_SENSORS,
         # clearly non-linear, but without a hard saturation plateau (which
         # would pile most readings into a tiny value range and make the
         # sensor ↔ average mapping ill-conditioned).
-        gain = rng.uniform(1.0, 3.0)
-        exponent = rng.uniform(0.6, 0.9)
+        gain = rng.uniform(*gain_range)
+        exponent = rng.uniform(*exponent_range)
         clean = gain * concentration ** exponent
         readings[sensor] = clean + rng.normal(0.0, noise_scale, size=num_tuples)
     # Glitches hit a fraction of the *rows*, each corrupting one randomly

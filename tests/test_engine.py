@@ -254,6 +254,49 @@ class TestDatabase:
         assert report.components["new_indexes"] < report.components[
             "existing_indexes"] / 2
 
+    def test_update_primary_key_maintains_primary_index(self, loaded):
+        """Regression: a PK change must re-key the primary index.
+
+        ``Database.update`` used to leave the primary index keyed on the old
+        value, so pointer resolution for the row silently failed afterwards.
+        """
+        database, table_name, _ = loaded
+        location = database.insert(table_name, {
+            "colA": 30_000_000.0, "colB": 700.0, "colC": 777_777.0, "colD": 0.9,
+        })
+        database.update(table_name, location, {"colA": 31_000_000.0})
+        entry = database.catalog.table_entry(table_name)
+        assert entry.primary_index.search(30_000_000.0) == []
+        assert entry.primary_index.search(31_000_000.0) == [location]
+        # A delete after the PK change must find (and remove) the new entry.
+        database.delete(table_name, location)
+        assert entry.primary_index.search(31_000_000.0) == []
+
+    def test_update_primary_key_resolves_through_planner(self):
+        """Regression: under logical pointers a PK update must not lose rows.
+
+        Secondary indexes store primary keys as tids; with a stale primary
+        index the planner's resolution step dropped the updated row from
+        every query result.
+        """
+        dataset = generate_synthetic(1000, "linear", seed=9)
+        database = Database(pointer_scheme=PointerScheme.LOGICAL)
+        table_name = load_synthetic(database, dataset)
+        database.create_index("idx_c", table_name, "colC",
+                              method=IndexMethod.BTREE)
+        location = database.insert(table_name, {
+            "colA": 40_000_000.0, "colB": 5.0, "colC": 123.0, "colD": 0.1,
+        })
+        predicate = RangePredicate("colC", 122.0, 124.0)
+        result = database.query(table_name, predicate)
+        assert location in result.locations
+        assert result.used_index == "idx_c"
+
+        database.update(table_name, location, {"colA": 41_000_000.0})
+        result = database.query(table_name, predicate)
+        assert location in result.locations
+        assert result.used_index == "idx_c"
+
     def test_logical_pointer_database(self):
         dataset = generate_synthetic(1000, "linear", seed=9)
         database = Database(pointer_scheme=PointerScheme.LOGICAL)

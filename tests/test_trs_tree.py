@@ -2,8 +2,11 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.config import TRSTreeConfig
+from repro.core.node import route_index, route_indices
 from repro.core.trs_tree import TRSTree
 from repro.errors import ConfigurationError, StorageError
 from repro.index.base import KeyRange
@@ -102,7 +105,8 @@ class TestConstruction:
         tree = TRSTree()
         tree.build([], [], [])
         assert tree.num_leaves == 1
-        assert tree.lookup(KeyRange(0, 10)).host_ranges == [KeyRange(0.0, 0.0)]
+        # An empty leaf has nothing behind its band: no host probe at all.
+        assert tree.lookup(KeyRange(0, 10)).host_ranges == []
 
     def test_mismatched_lengths_rejected(self):
         tree = TRSTree()
@@ -179,6 +183,159 @@ class TestLookup:
         assert result.outlier_tids == []
 
 
+class TestEmptyLeafProbes:
+    """Leaves with nothing behind their band must not emit host probes."""
+
+    def clustered_data(self, count=3000, seed=11):
+        """Two tight clusters with a wide empty gap between them."""
+        rng = np.random.default_rng(seed)
+        low_cluster = rng.uniform(0.0, 100.0, size=count // 2)
+        high_cluster = rng.uniform(900.0, 1000.0, size=count - count // 2)
+        targets = np.concatenate([low_cluster, high_cluster])
+        # Non-linear within each cluster so the tree actually splits and
+        # builds leaves over the empty middle of the domain.
+        hosts = np.sqrt(targets) * 100.0
+        return targets, hosts, np.arange(len(targets))
+
+    def test_empty_subrange_leaves_emit_no_host_ranges(self):
+        targets, hosts, tids = self.clustered_data()
+        tree = TRSTree()
+        tree.build(targets, hosts, tids, value_range=KeyRange(0.0, 1000.0))
+        empty_leaves = [leaf for leaf in tree.leaves() if leaf.num_covered == 0]
+        assert empty_leaves, "expected leaves over the empty sub-ranges"
+        # A probe entirely inside the empty gap returns nothing at all —
+        # previously every overlapped empty leaf contributed a spurious
+        # [alpha - eps, alpha + eps] host probe.
+        result = tree.lookup(KeyRange(400.0, 500.0))
+        assert result.host_ranges == []
+        assert result.outlier_tids == []
+        # Probes over the populated clusters still answer exactly.
+        probe = KeyRange(50.0, 950.0)
+        assert hermit_style_answer(tree, hosts, targets, probe) == \
+            brute_force(targets, probe)
+
+    def test_covered_insert_into_empty_leaf_restores_probe(self):
+        """An insert the band covers makes the leaf's host range live again."""
+        targets, hosts, tids = linear_data()
+        tree = TRSTree()
+        tree.build(targets, hosts, tids)
+        leaf = tree.leaves()[0]
+        before = leaf.num_model_covered
+        tree.insert(500.0, 2.0 * 500.0 + 5.0, 424242)
+        assert leaf.num_model_covered == before + 1
+        assert tree.lookup(KeyRange(499.0, 501.0)).host_ranges
+
+
+class TestRoutingParity:
+    """Scalar and batched insertion must agree on every leaf assignment."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+        st.floats(min_value=1e-9, max_value=1e9, allow_nan=False),
+        st.integers(min_value=2, max_value=16),
+        st.integers(min_value=0, max_value=16),
+        st.sampled_from([0.0, 1e-300, -1e-300]),
+    )
+    def test_scalar_matches_vectorized_on_boundaries(self, low, width, fanout,
+                                                     boundary, jitter):
+        """Adversarial values exactly on (and a hair off) child boundaries."""
+        key_range = KeyRange(low, low + width)
+        # Both ways a boundary can be computed: cumulative steps and the
+        # direct fraction — under float rounding they can differ, which is
+        # precisely where the old mask-based and arithmetic routings split.
+        step = key_range.width / fanout
+        candidates = [
+            low + min(boundary, fanout) * step,
+            low + key_range.width * min(boundary, fanout) / fanout,
+        ]
+        values = np.array([min(max(v + jitter, low), low + width)
+                           for v in candidates])
+        batched = route_indices(values, key_range, fanout)
+        for value, routed in zip(values, batched):
+            assert route_index(float(value), key_range, fanout) == routed
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+        st.floats(min_value=1e-9, max_value=1e9, allow_nan=False),
+        st.integers(min_value=2, max_value=16),
+        st.integers(min_value=1, max_value=15),
+    )
+    def test_routed_values_stay_inside_their_child_range(self, low, width,
+                                                         fanout, boundary):
+        """Containment: an in-range value must land in a child whose closed
+        key range contains it, or the lookup's overlap descent loses it.
+
+        Regression for the arithmetic routing rule, which could file a value
+        one ulp below a computed bound into the child *above* it (found by
+        review with low=-966.9447289429418, width≈813.27, fanout=6).
+        """
+        from repro.core.node import equal_width_subranges
+        key_range = KeyRange(low, low + width)
+        subranges = equal_width_subranges(key_range, fanout)
+        bound = subranges[min(boundary, fanout - 1)].low
+        probes = [bound, float(np.nextafter(bound, -np.inf)),
+                  float(np.nextafter(bound, np.inf))]
+        probes = [p for p in probes if key_range.low <= p <= key_range.high]
+        for value in probes:
+            child = int(route_index(value, key_range, fanout))
+            assert subranges[child].contains(value)
+
+    def test_review_repro_boundary_tuple_not_lost(self):
+        """End-to-end repro from review: a tuple 1 ulp below a child bound
+        must stay reachable by a point lookup."""
+        from repro.core.node import equal_width_subranges
+        key_range = KeyRange(-966.9447289429418, -153.67448955593954)
+        subranges = equal_width_subranges(key_range, 6)
+        value = float(np.nextafter(subranges[5].low, -np.inf))
+        rng = np.random.default_rng(30)
+        targets = rng.uniform(key_range.low, key_range.high, size=3000)
+        hosts = np.sin(targets / 20.0) * 1000.0  # forces splits
+        tree = TRSTree(TRSTreeConfig(node_fanout=6, max_height=3))
+        tree.build(targets, hosts, np.arange(3000),
+                   value_range=key_range)
+        tree.insert(value, 1e6, 424242)  # gross outlier host
+        result = tree.lookup(KeyRange(value, value))
+        assert 424242 in result.outlier_tids
+
+    def test_tree_files_boundary_tuples_identically(self):
+        """insert vs insert_many: same leaf for values on split boundaries."""
+        rng = np.random.default_rng(13)
+        targets = rng.uniform(0.0, 1000.0, size=4000)
+        hosts = np.sin(targets / 20.0) * 1000.0  # forces splits
+        tids = np.arange(4000)
+
+        def build():
+            tree = TRSTree(TRSTreeConfig(node_fanout=4, max_height=4))
+            tree.build(targets, hosts, tids)
+            return tree
+
+        scalar_tree, batched_tree = build(), build()
+        # Values sitting exactly on every internal boundary of the built
+        # tree, inserted as guaranteed outliers (host far off any band).
+        boundaries = sorted({leaf.key_range.low for leaf in scalar_tree.leaves()}
+                            | {leaf.key_range.high for leaf in scalar_tree.leaves()})
+        new_targets = np.array(boundaries)
+        new_hosts = np.full(len(boundaries), 1e9)
+        new_tids = np.arange(10_000, 10_000 + len(boundaries))
+        for value, host, tid in zip(new_targets, new_hosts, new_tids):
+            scalar_tree.insert(float(value), float(host), int(tid))
+        batched_tree.insert_many(new_targets, new_hosts, new_tids)
+
+        def placement(tree):
+            return {
+                tid: (leaf.key_range.low, leaf.key_range.high)
+                for leaf in tree.leaves()
+                for _, tid in leaf.outliers.items()
+            }
+
+        scalar_placement = placement(scalar_tree)
+        batched_placement = placement(batched_tree)
+        for tid in new_tids:
+            assert scalar_placement[int(tid)] == batched_placement[int(tid)]
+
+
 class TestMaintenance:
     def test_insert_covered_tuple_leaves_no_trace(self):
         targets, hosts, tids = linear_data()
@@ -227,6 +384,113 @@ class TestMaintenance:
             tree.insert(float(rng.uniform(0, 1000)), float(rng.uniform(0, 1e6)),
                         100000 + i)
         assert tree.pending_reorganizations > 0
+
+
+class TestHonestCounters:
+    """num_deleted must track real removals, not no-op delete/update churn."""
+
+    def build_tree(self, count=2000):
+        targets, hosts, tids = linear_data(count=count)
+        tree = TRSTree()
+        tree.build(targets, hosts, tids)
+        return tree, targets, hosts
+
+    def test_noop_delete_does_not_count(self):
+        tree, _, _ = self.build_tree()
+        leaf = tree.leaves()[0]
+        # Neither an outlier entry nor inside the band: the pair was never
+        # in the tree, so the delete must leave the counters alone.
+        for _ in range(50):
+            tree.delete(500.0, 1e9, 999_999)
+        assert leaf.num_deleted == 0
+        assert leaf.deleted_ratio() == 0.0
+
+    def test_covered_delete_counts_once(self):
+        tree, targets, hosts = self.build_tree()
+        leaf = tree.leaves()[0]
+        tree.delete(float(targets[0]), float(hosts[0]), 0)
+        assert leaf.num_deleted == 1
+
+    def test_outlier_delete_counts_via_removal(self):
+        tree, _, _ = self.build_tree()
+        leaf = tree.leaves()[0]
+        tree.insert(500.0, 1e9, 777)
+        assert len(leaf.outliers) == 1
+        tree.delete(500.0, 1e9, 777)
+        assert len(leaf.outliers) == 0
+        assert leaf.num_deleted == 1
+
+    def test_update_within_leaf_does_not_inflate_counters(self):
+        """An in-place move is not a delete plus an insert."""
+        tree, targets, hosts = self.build_tree()
+        leaf = tree.leaves()[0]
+        value = float(targets[10])
+        host = float(hosts[10])
+        # 300 covered-pair updates within the single leaf: population is
+        # unchanged throughout, so no churn may accumulate.
+        for step in range(300):
+            new_value = 100.0 + (step % 7)
+            new_host = 2.0 * new_value + 5.0
+            tree.update(value, host, new_value, new_host, 10)
+            value, host = new_value, new_host
+        assert leaf.num_deleted == 0
+        assert leaf.num_inserted == 0
+        assert leaf.deleted_ratio() == 0.0
+        assert tree.pending_reorganizations == 0
+
+    def test_over_deleting_one_covered_pair_cannot_silence_the_probe(self):
+        """Regression (review repro): num_model_covered is a monotone upper
+        bound — repeated deletes of one covered pair must not drive it to
+        zero and drop the host range while covered tuples still exist."""
+        tree, targets, hosts = self.build_tree(count=500)
+        leaf = tree.leaves()[0]
+        for _ in range(505):
+            tree.delete(float(targets[0]), float(hosts[0]), 0)
+        assert leaf.num_model_covered > 0
+        probe = KeyRange(0.0, 1000.0)
+        result = tree.lookup(probe)
+        assert result.host_ranges  # the 499 remaining tuples stay reachable
+
+    def test_update_across_leaves_counts_both_sides(self):
+        rng = np.random.default_rng(21)
+        targets = rng.uniform(0.0, 1000.0, size=4000)
+        hosts = np.sin(targets / 20.0) * 1000.0
+        tree = TRSTree(TRSTreeConfig(node_fanout=4, max_height=3))
+        tree.build(targets, hosts, np.arange(4000))
+        assert tree.num_leaves > 1
+        old_leaf = tree._traverse(float(targets[0]))
+        # Move the tuple to a target owned by a different leaf.
+        new_target = float(targets[0]) + 500.0 if targets[0] < 400.0 \
+            else float(targets[0]) - 500.0
+        new_leaf = tree._traverse(new_target)
+        assert new_leaf is not old_leaf
+        deleted_before = old_leaf.num_deleted
+        inserted_before = new_leaf.num_inserted
+        tree.update(float(targets[0]), float(hosts[0]), new_target, 12345.0, 0)
+        assert old_leaf.num_deleted == deleted_before + 1
+        assert new_leaf.num_inserted == inserted_before + 1
+
+    def test_noop_updates_do_not_flag_spurious_merges(self):
+        """Repeated no-op updates used to inflate deleted_ratio past the
+        merge threshold even though no tuple ever left the leaf."""
+        rng = np.random.default_rng(22)
+        targets = rng.uniform(0.0, 1000.0, size=4000)
+        hosts = np.sin(targets / 20.0) * 1000.0
+        tree = TRSTree(TRSTreeConfig(node_fanout=4, max_height=3))
+        tree.build(targets, hosts, np.arange(4000))
+        assert tree.num_leaves > 1  # leaves have parents, merges possible
+        leaf = next(l for l in tree.leaves() if l.num_model_covered > 0)
+        value = (leaf.key_range.low + leaf.key_range.high) / 2.0
+        covered_host = leaf.model.predict(value)
+        # Old pair never present (no outlier entry, far outside any band);
+        # new pair covered.  Run far past the merge threshold
+        # (outlier_ratio * num_covered): nothing may be counted as deleted
+        # and no merge may be flagged.
+        for _ in range(leaf.num_covered + 10):
+            tree.update(value, 1e9, value, covered_host, 888_888)
+        assert leaf.num_deleted == 0
+        assert leaf.deleted_ratio() == 0.0
+        assert tree.pending_reorganizations == 0
 
 
 class TestReorganization:
