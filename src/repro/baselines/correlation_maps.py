@@ -30,6 +30,7 @@ from repro.core.hermit import (
     LookupBreakdown,
     coerce_ranges,
     finish_batch_lookup,
+    probe_host_ranges_segmented,
     resolve_tids_array,
 )
 from repro.errors import ConfigurationError, QueryError
@@ -170,6 +171,31 @@ class CorrelationMap:
             tids = np.unique(tids)
         breakdown.host_index_seconds += time.perf_counter() - started
         return tids
+
+    def candidate_tids_many(self, ranges: "list[KeyRange]",
+                            breakdown: LookupBreakdown,
+                            ) -> tuple[np.ndarray, np.ndarray]:
+        """Segmented batch variant of :meth:`candidate_tids`.
+
+        Bucket expansion stays per query (a Python dict walk per target
+        bucket), but the host probes of the whole batch collapse into one
+        ``range_search_segmented`` call over the flattened host-range list,
+        regrouped per query.  No dedup pass is needed:
+        ``_host_ranges_for`` unions its buckets into *disjoint* host ranges
+        and a complete host index stores each row once, so a tid cannot
+        appear twice within one query's probes.  Returns a
+        ``(values, offsets)`` segmented array.
+        """
+        started = time.perf_counter()
+        host_ranges_per_query = [self._host_ranges_for(key_range)
+                                 for key_range in ranges]
+        breakdown.trs_seconds += time.perf_counter() - started
+
+        started = time.perf_counter()
+        values, offsets = probe_host_ranges_segmented(self.host_index,
+                                                      host_ranges_per_query)
+        breakdown.host_index_seconds += time.perf_counter() - started
+        return values, offsets
 
     # Assumed host-side candidate inflation of the bucket mapping: every
     # covered target bucket drags in whole host buckets, which typically

@@ -155,6 +155,21 @@ class BaselineSecondaryIndex:
         breakdown.host_index_seconds += time.perf_counter() - started
         return tids
 
+    def candidate_tids_many(self, ranges: "list[KeyRange]",
+                            breakdown: LookupBreakdown,
+                            ) -> tuple[np.ndarray, np.ndarray]:
+        """Segmented batch variant of :meth:`candidate_tids`.
+
+        Delegates straight to the backing index's ``range_search_segmented``
+        — one probe pass per batch (fully vectorized on a sorted-column
+        backing, a single flat leaf-walk loop on the B+-tree).  Returns a
+        ``(values, offsets)`` segmented array (see ``repro.segments``).
+        """
+        started = time.perf_counter()
+        values, offsets = self.index.range_search_segmented(ranges)
+        breakdown.host_index_seconds += time.perf_counter() - started
+        return values, offsets
+
     def estimate_candidates(self, key_range: KeyRange, stats) -> float:
         """Estimated candidate count: exact (a complete index has no FPs)."""
         return stats.row_count * stats.selectivity(key_range)

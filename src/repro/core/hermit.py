@@ -35,6 +35,11 @@ from repro.core.config import DEFAULT_CONFIG, TRSTreeConfig
 from repro.core.trs_tree import TRSTree
 from repro.errors import QueryError
 from repro.index.base import Index, KeyRange
+from repro.segments import (
+    concat_segments,
+    offsets_from_counts,
+    segmented_unique,
+)
 from repro.storage.identifiers import PointerScheme, TupleId
 from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
 from repro.storage.table import Table
@@ -78,6 +83,68 @@ def resolve_tids_many(tid_arrays: list[np.ndarray],
                  for tids in tid_arrays]
     breakdown.primary_index_seconds += time.perf_counter() - started
     return locations
+
+
+def resolve_tids_segmented(tids: np.ndarray, offsets: np.ndarray,
+                           pointer_scheme: PointerScheme,
+                           primary_index: Index | None,
+                           breakdown: "LookupBreakdown",
+                           ) -> tuple[np.ndarray, np.ndarray]:
+    """Segmented variant of :func:`resolve_tids_array` for the batch executor.
+
+    ``(tids, offsets)`` is the concatenated candidate array of a whole query
+    batch (see ``repro.segments``).  Physical pointers keep the segmentation
+    as-is; logical pointers resolve every candidate through *one*
+    ``search_many_segmented`` primary-index pass, which rebuilds the offsets
+    (a primary key may resolve to zero or several locations).
+    """
+    if pointer_scheme is PointerScheme.PHYSICAL:
+        return tids.astype(np.int64, copy=False), offsets
+    assert primary_index is not None
+    started = time.perf_counter()
+    locations, offsets = primary_index.search_many_segmented(tids, offsets)
+    locations = np.asarray(locations, dtype=np.int64)
+    breakdown.primary_index_seconds += time.perf_counter() - started
+    return locations, offsets
+
+
+def regroup_host_probes(host_values: np.ndarray, host_offsets: np.ndarray,
+                        ranges_per_query: "list[int] | np.ndarray",
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Fold per-*range* host-probe segments into per-*query* segments.
+
+    The correlation mechanisms translate each query into several host
+    ranges; probing the flattened range list with one
+    ``range_search_segmented`` call returns per-range segments in
+    query-major order, so regrouping is just summing each query's run
+    sizes — no data movement.
+    """
+    ranges_per_query = np.asarray(ranges_per_query, dtype=np.int64)
+    range_sizes = np.diff(host_offsets)
+    owner = np.repeat(np.arange(ranges_per_query.size, dtype=np.int64),
+                      ranges_per_query)
+    counts = np.bincount(owner, weights=range_sizes,
+                         minlength=ranges_per_query.size).astype(np.int64)
+    return host_values, offsets_from_counts(counts)
+
+
+def probe_host_ranges_segmented(
+    host_index: Index, host_ranges_per_query: "list[list[KeyRange]]",
+) -> tuple[np.ndarray, np.ndarray]:
+    """One segmented host-index pass over per-query host-range lists.
+
+    The shared middle of Hermit's and CM's ``candidate_tids_many``: flatten
+    the per-query range lists, probe them all with a single
+    ``range_search_segmented`` call, and fold the per-range segments back
+    into per-query ones.
+    """
+    all_ranges: list[KeyRange] = []
+    counts: list[int] = []
+    for host_ranges in host_ranges_per_query:
+        all_ranges.extend(host_ranges)
+        counts.append(len(host_ranges))
+    host_values, host_offsets = host_index.range_search_segmented(all_ranges)
+    return regroup_host_probes(host_values, host_offsets, counts)
 
 
 def coerce_ranges(predicates) -> list[KeyRange]:
@@ -351,6 +418,49 @@ class HermitIndex:
         breakdown.host_index_seconds += time.perf_counter() - started
         return candidates
 
+    def candidate_tids_many(self, ranges: "list[KeyRange]",
+                            breakdown: LookupBreakdown,
+                            ) -> tuple[np.ndarray, np.ndarray]:
+        """Segmented batch variant of :meth:`candidate_tids`.
+
+        One TRS-Tree translation per query (tree descent is inherently
+        per-predicate), then *one* host-index pass over the flattened host
+        ranges of the whole batch (``range_search_segmented``), per-range
+        segments regrouped to per-query ones by summing run sizes —
+        the candidate tids of B queries in a constant number of array
+        passes.  Returns ``(values, offsets)``; see ``repro.segments``.
+
+        The TRS-Tree unions each query's host ranges into a disjoint cover
+        (Algorithm 2) and a complete host index stores each row once, so
+        the host probes alone cannot produce within-query duplicates; a
+        :func:`~repro.segments.segmented_unique` dedup pass runs only when
+        outlier tids were spliced in (an outlier's host value may also fall
+        inside a probed range).
+        """
+        started = time.perf_counter()
+        trs_results = [self.trs_tree.lookup(key_range) for key_range in ranges]
+        breakdown.trs_seconds += time.perf_counter() - started
+
+        started = time.perf_counter()
+        values, offsets = probe_host_ranges_segmented(
+            self.host_index,
+            [trs_result.host_ranges for trs_result in trs_results],
+        )
+        outliers = [trs_result.outlier_tid_array()
+                    for trs_result in trs_results]
+        if any(array.size for array in outliers):
+            pieces: list[np.ndarray] = []
+            for position, outlier_tids in enumerate(outliers):
+                pieces.append(values[offsets[position]:offsets[position + 1]])
+                pieces.append(outlier_tids)
+            values, offsets = concat_segments(pieces)
+            # Fold the (host run, outlier) piece pairs back to one segment
+            # per query.
+            offsets = offsets[::2]
+            values, offsets = segmented_unique(values, offsets)
+        breakdown.host_index_seconds += time.perf_counter() - started
+        return values, offsets
+
     # Assumed candidate inflation before the first lookup provides an
     # observed false-positive ratio; deliberately worse than an exact host
     # index so default-stats planning prefers complete indexes over Hermit.
@@ -389,10 +499,18 @@ class HermitIndex:
     def lookup_range_scalar(self, low: float, high: float) -> HermitLookupResult:
         """Object-at-a-time reference implementation of :meth:`lookup_range`.
 
-        This is the seed code path (Python ``set`` dedup, per-key primary
-        probes, per-row validation), kept verbatim as the reference semantics
-        for the equivalence property tests and as the "scalar" side of
-        ``benchmarks/bench_hotpath_vectorized.py``.
+        This is the seed code path (per-key primary probes, per-row
+        validation), kept as the reference semantics for the equivalence
+        property tests and as the "scalar" side of
+        ``benchmarks/bench_hotpath_vectorized.py``.  The candidate
+        generation, however, shares :meth:`_candidate_array` with the
+        vectorized and batch paths: the legacy Python-``set``
+        materialisation of the host probe (``set(range_search_many(...))``)
+        duplicated the dedup rules in a second implementation that could
+        drift, and the hot-path benchmark ratios were rebased when it was
+        removed (the scalar side got faster; the race now isolates the
+        per-row resolution + validation overhead, which is what the
+        vectorized tail actually replaced).
         """
         predicate = KeyRange(low, high)
         breakdown = LookupBreakdown(lookups=1)
@@ -402,8 +520,7 @@ class HermitIndex:
         breakdown.trs_seconds += time.perf_counter() - started
 
         started = time.perf_counter()
-        candidate_tids = set(self.host_index.range_search_many(trs_result.host_ranges))
-        candidate_tids.update(trs_result.outlier_tids)
+        candidate_tids = self._candidate_array(trs_result).tolist()
         breakdown.host_index_seconds += time.perf_counter() - started
 
         locations = self._resolve_locations(candidate_tids, breakdown)
@@ -436,7 +553,7 @@ class HermitIndex:
         return resolve_tids_array(tids, self.pointer_scheme,
                                   self.primary_index, breakdown)
 
-    def _resolve_locations(self, tids: set[TupleId],
+    def _resolve_locations(self, tids: "list[TupleId] | set[TupleId]",
                            breakdown: LookupBreakdown) -> list[int]:
         """Scalar reference of :meth:`_resolve_locations_array`."""
         if self.pointer_scheme is PointerScheme.PHYSICAL:

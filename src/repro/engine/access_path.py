@@ -47,14 +47,33 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.hermit import LookupBreakdown
 from repro.engine.catalog import ColumnStats, IndexEntry, IndexMethod
 from repro.index.base import KeyRange
+from repro.segments import concat_segments, run_indices, segmented_filter
 from repro.storage.identifiers import PointerScheme
 from repro.storage.table import Table
+
+
+def column_bounds(key_ranges: Sequence[dict[str, KeyRange]],
+                  column: str) -> tuple[np.ndarray, np.ndarray]:
+    """Aligned per-query (lows, highs) arrays for one predicate column.
+
+    The batch executor and the access paths both need the per-query bounds
+    of a column as flat float arrays (to repeat over segment sizes or feed
+    ``searchsorted``); keeping the extraction here keeps the dtype/count
+    handling in one place.
+    """
+    count = len(key_ranges)
+    lows = np.fromiter((ranges[column].low for ranges in key_ranges),
+                       dtype=np.float64, count=count)
+    highs = np.fromiter((ranges[column].high for ranges in key_ranges),
+                        dtype=np.float64, count=count)
+    return lows, highs
 
 
 @dataclass(frozen=True)
@@ -119,10 +138,21 @@ class AccessPath:
         produces_locations: True when :meth:`execute` returns row locations
             directly instead of pointer-scheme tids (full scans), letting
             the executor skip pointer resolution.
+        produces_unique_tids: True when :meth:`execute` guarantees a
+            duplicate-free candidate array.  Every concrete path does —
+            full scans emit distinct live slots, complete indexes
+            (B+-tree, sorted column, composite) hold one entry per row,
+            and the correlation mechanisms (Hermit, CM) end their candidate
+            generation with an explicit dedup — which lets the executor
+            pass ``assume_unique=True`` to its ``np.intersect1d`` calls and
+            replace the final ``np.unique`` with a plain sort.  A future
+            path without the guarantee sets this False and the executor
+            falls back to the safe kernels.
     """
 
     columns: tuple[str, ...] = ()
     produces_locations = False
+    produces_unique_tids = True
 
     def estimated_candidates(self) -> float:
         """Cost-model estimate of the candidate count this path returns."""
@@ -134,6 +164,21 @@ class AccessPath:
 
     def execute(self, breakdown: LookupBreakdown) -> np.ndarray:
         """Produce the candidate tid array, charging phases to ``breakdown``."""
+        raise NotImplementedError
+
+    def execute_many(self, key_ranges: Sequence[dict[str, KeyRange]],
+                     breakdown: LookupBreakdown,
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Produce candidate tids for a whole query batch, segmented.
+
+        ``key_ranges`` holds one merged predicate mapping per query (every
+        query of a batch group shares the same column set; the ranges
+        differ) — the path picks out the columns it covers, ignoring the
+        ranges it was constructed with.  Returns ``(values, offsets)``
+        where query ``i`` owns ``values[offsets[i]:offsets[i + 1]]`` (see
+        ``repro.segments``), so the executor can intersect, resolve and
+        validate the whole batch in O(1) array passes.
+        """
         raise NotImplementedError
 
     def describe(self) -> str:
@@ -194,6 +239,46 @@ class FullScanPath(AccessPath):
         breakdown.base_table_seconds += time.perf_counter() - started
         return matching
 
+    def execute_many(self, key_ranges: Sequence[dict[str, KeyRange]],
+                     breakdown: LookupBreakdown,
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Scan once for the whole batch: sort the driving column, slice per query.
+
+        The live rows are projected once and sorted on the first predicate
+        column; every query's matching run is then located with one
+        vectorized ``searchsorted`` pair and gathered with a single
+        multi-arange fancy index.  Remaining predicate columns are masked
+        per element against their own query's bounds (``np.repeat`` of the
+        per-query bounds over the run sizes) — B scans collapse into one
+        O(n log n) sort plus O(total matches) array work.
+        """
+        started = time.perf_counter()
+        driving = self.columns[0]
+        projected = self.table.project(list(self.columns))
+        slots = projected[0]
+        order = np.argsort(projected[1], kind="stable")
+        sorted_values = projected[1][order]
+        lows, highs = column_bounds(key_ranges, driving)
+        starts = np.searchsorted(sorted_values, lows, side="left")
+        stops = np.searchsorted(sorted_values, highs, side="right")
+        indices, offsets = run_indices(starts, stops)
+        # Gather through the matched positions only — order[indices] is
+        # O(total matches), while slots[order] would permute the whole
+        # table once per column.
+        matched = order[indices]
+        candidates = slots[matched]
+        if len(self.columns) > 1 and candidates.size:
+            sizes = np.diff(offsets)
+            mask = np.ones(candidates.size, dtype=bool)
+            for column, values in zip(self.columns[1:], projected[2:]):
+                gathered = values[matched]
+                column_lows, column_highs = column_bounds(key_ranges, column)
+                mask &= ((gathered >= np.repeat(column_lows, sizes))
+                         & (gathered <= np.repeat(column_highs, sizes)))
+            candidates, offsets = segmented_filter(candidates, offsets, mask)
+        breakdown.base_table_seconds += time.perf_counter() - started
+        return candidates, offsets
+
     def describe(self) -> str:
         columns = ", ".join(self.columns)
         return f"full-scan({columns}) cost={self._cost:.0f}"
@@ -245,6 +330,15 @@ class MechanismPath(AccessPath):
     def execute(self, breakdown: LookupBreakdown) -> np.ndarray:
         return self.entry.mechanism.candidate_tids(self.key_range, breakdown)
 
+    def execute_many(self, key_ranges: Sequence[dict[str, KeyRange]],
+                     breakdown: LookupBreakdown,
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Delegate the whole batch to the mechanism's segmented probe."""
+        column = self.entry.column
+        return self.entry.mechanism.candidate_tids_many(
+            [ranges[column] for ranges in key_ranges], breakdown
+        )
+
     def describe(self) -> str:
         return (f"{self.entry.method.value}({self.entry.name} on "
                 f"{self.entry.column}) cost={self._cost:.0f} "
@@ -291,6 +385,23 @@ class CompositePath(AccessPath):
         return self.entry.mechanism.candidate_tids_pair(
             self.leading_range, self.second_range, breakdown
         )
+
+    def execute_many(self, key_ranges: Sequence[dict[str, KeyRange]],
+                     breakdown: LookupBreakdown,
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-query pair probes, concatenated into one segmented array.
+
+        The composite entry list keeps ``(leading, second, tid)`` triples in
+        Python objects, so the probe itself stays per query; the batch win
+        here is only the shared downstream pipeline.
+        """
+        leading, second = self.columns
+        return concat_segments([
+            self.entry.mechanism.candidate_tids_pair(
+                ranges[leading], ranges[second], breakdown
+            )
+            for ranges in key_ranges
+        ])
 
     def describe(self) -> str:
         return (f"composite({self.entry.name} on {self.entry.column}, "

@@ -14,6 +14,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterator
 
+import numpy as np
+
 from repro.correlation.discovery import CorrelationCandidate
 from repro.errors import CatalogError
 from repro.index.base import KeyRange
@@ -83,6 +85,31 @@ class ColumnStats:
     def estimated_rows(self, key_range: KeyRange) -> float:
         """Estimated number of matching rows."""
         return self.row_count * self.selectivity(key_range)
+
+    def selectivity_array(self, lows: "np.ndarray",
+                          highs: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`selectivity` over aligned bound arrays.
+
+        Used by the batch planner to bucket a whole query batch in one
+        pass; the expression tree mirrors the scalar method exactly so
+        both produce bit-identical selectivities (and therefore identical
+        cache-key buckets) for the same predicate.
+        """
+        count = len(lows)
+        if self.row_count == 0:
+            return np.zeros(count, dtype=np.float64)
+        if not self.has_range:
+            return np.full(count, DEFAULT_SELECTIVITY, dtype=np.float64)
+        low = np.maximum(lows, self.minimum)
+        high = np.minimum(highs, self.maximum)
+        domain = self.maximum - self.minimum
+        if domain <= 0:
+            return np.where(high < low, 0.0, 1.0)
+        result = np.minimum(
+            1.0, np.maximum((high - low) / domain, 1.0 / self.row_count)
+        )
+        result[high < low] = 0.0
+        return result
 
 
 @dataclass

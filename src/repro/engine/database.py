@@ -45,7 +45,11 @@ from repro.engine.catalog import (
     IndexMethod,
     TableEntry,
 )
-from repro.engine.executor import execute_plan, execute_with_index
+from repro.engine.executor import (
+    execute_plan,
+    execute_plan_many,
+    execute_with_index,
+)
 from repro.engine.planner import Plan, PlannedQueryResult, Planner
 from repro.engine.query import ConjunctiveQuery, QueryResult, RangePredicate
 from repro.errors import CatalogError, QueryError
@@ -359,11 +363,34 @@ class Database:
         the predicate (``None`` for a full scan).
         """
         planned = self.query_conjunctive(table_name, [predicate])
-        return QueryResult(
-            locations=planned.locations.tolist(),
-            breakdown=planned.breakdown,
-            used_index=planned.plan.used_index,
-        )
+        return QueryResult.from_planned(planned)
+
+    def query_many(self, table_name: str,
+                   predicates: Sequence[RangePredicate]) -> list[QueryResult]:
+        """Execute a batch of single-column predicates, batched end to end.
+
+        Result-set-equivalent to ``[self.query(table_name, p) for p in
+        predicates]`` but planned once per (column, selectivity-bucket)
+        group and executed by the segmented batch executor — B queries cost
+        O(1) Python-level array passes per plan group instead of B full
+        planner/executor pipelines.  Results come back in input order.
+        """
+        conjunctives = [ConjunctiveQuery((predicate,))
+                        for predicate in predicates]
+        entry = self.catalog.table_entry(table_name)
+        results: list[QueryResult | None] = [None] * len(conjunctives)
+        for group in self.planner.plan_many(table_name, conjunctives):
+            locations_per_query, breakdown = execute_plan_many(
+                group.plan, group.merged_list, entry, self.pointer_scheme,
+                entry.primary_index,
+            )
+            used_index = group.plan.used_index
+            for position, locations in zip(group.indices, locations_per_query):
+                results[position] = QueryResult(
+                    locations=locations.tolist(), breakdown=breakdown,
+                    used_index=used_index,
+                )
+        return results
 
     def query_conjunctive(
         self, table_name: str,
@@ -391,6 +418,42 @@ class Database:
         plan = self.planner.plan(table_name, query)
         return execute_plan(plan, entry, self.pointer_scheme,
                             entry.primary_index)
+
+    def query_conjunctive_many(
+        self, table_name: str,
+        queries: Sequence["ConjunctiveQuery | Sequence[RangePredicate] | RangePredicate"],
+    ) -> list[PlannedQueryResult]:
+        """Execute a batch of conjunctive queries, batched end to end.
+
+        The batch is grouped by plan shape (:meth:`Planner.plan_many`:
+        same predicate columns, same per-column selectivity bucket — one
+        batch may span several groups and each group plans once), and every
+        group runs through the segmented batch executor: one candidate
+        probe per access path, one pointer-resolution pass and one
+        validation pass per predicate column over the *concatenated*
+        candidates of the whole group.
+
+        Result-set-equivalent to calling :meth:`query_conjunctive` per
+        query.  Each returned result carries its own location array (input
+        order) but shares the group's plan template — bound to the group
+        representative's ranges — its ``group_size`` and one breakdown
+        accumulated across the group (per-phase time for B queries is only
+        meaningful in aggregate once the phases are batched).
+        """
+        conjunctives = [self._as_conjunctive(query) for query in queries]
+        entry = self.catalog.table_entry(table_name)
+        results: list[PlannedQueryResult | None] = [None] * len(conjunctives)
+        for group in self.planner.plan_many(table_name, conjunctives):
+            locations_per_query, breakdown = execute_plan_many(
+                group.plan, group.merged_list, entry, self.pointer_scheme,
+                entry.primary_index,
+            )
+            for position, locations in zip(group.indices, locations_per_query):
+                results[position] = PlannedQueryResult(
+                    locations=locations, breakdown=breakdown,
+                    plan=group.plan, group_size=len(group.indices),
+                )
+        return results
 
     def explain(self, table_name: str,
                 query: "ConjunctiveQuery | Sequence[RangePredicate] | RangePredicate",

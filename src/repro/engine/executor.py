@@ -21,11 +21,23 @@ import time
 
 import numpy as np
 
-from repro.core.hermit import LookupBreakdown, resolve_tids_array
+from repro.core.hermit import (
+    LookupBreakdown,
+    resolve_tids_array,
+    resolve_tids_segmented,
+)
+from repro.engine.access_path import column_bounds
 from repro.engine.catalog import IndexEntry, IndexMethod, TableEntry
 from repro.engine.planner import Plan, PlannedQueryResult
 from repro.engine.query import QueryResult, RangePredicate
-from repro.index.base import Index
+from repro.index.base import Index, KeyRange
+from repro.segments import (
+    segmented_filter,
+    segmented_intersect,
+    segmented_sort,
+    segmented_unique,
+    split_segments,
+)
 from repro.storage.identifiers import PointerScheme
 from repro.storage.table import Table
 
@@ -38,35 +50,129 @@ def execute_plan(plan: Plan, entry: TableEntry,
     if plan.unsatisfiable or not plan.paths:
         return PlannedQueryResult(np.empty(0, dtype=np.int64), breakdown, plan)
 
+    # Single-path plans (the overwhelmingly common case) never touch
+    # np.intersect1d; multi-path plans intersect with assume_unique
+    # whenever both operands come from paths that guarantee unique tids —
+    # every current path does (see AccessPath.produces_unique_tids), which
+    # skips intersect1d's internal per-operand np.unique sorts.
     tids = plan.paths[0].execute(breakdown)
+    unique = plan.paths[0].produces_unique_tids
     for path in plan.paths[1:]:
         if tids.size == 0:
             break
-        tids = np.intersect1d(tids, path.execute(breakdown))
+        tids = np.intersect1d(tids, path.execute(breakdown),
+                              assume_unique=unique
+                              and path.produces_unique_tids)
+        unique = True
 
     if plan.paths[0].produces_locations:
         # Full scans emit row locations that already satisfy every predicate
-        # over live rows only — no pointer resolution, no re-validation.
+        # over live rows only — no pointer resolution, no re-validation; the
+        # mask scan yields ascending unique slots, so the result needs no
+        # final sort either.
         locations = np.asarray(tids, dtype=np.int64)
         breakdown.candidates += int(locations.size)
+        breakdown.results += int(locations.size)
+        _observe_lookup(plan, breakdown)
+        return PlannedQueryResult(locations, breakdown, plan)
+
+    locations = resolve_tids_array(np.asarray(tids), pointer_scheme,
+                                   primary_index, breakdown)
+    breakdown.candidates += int(locations.size)
+
+    started = time.perf_counter()
+    for column, key_range in plan.merged.items():
+        if locations.size == 0:
+            break
+        locations = entry.table.filter_in_range(
+            locations, column, key_range.low, key_range.high
+        )
+    breakdown.base_table_seconds += time.perf_counter() - started
+
+    breakdown.results += int(locations.size)
+    locations = locations.astype(np.int64, copy=False)
+    if unique and pointer_scheme is PointerScheme.PHYSICAL:
+        # Physical tids are the locations, so uniqueness survives
+        # resolution and a plain sort replaces the np.unique dedup.
+        locations = np.sort(locations)
     else:
-        locations = resolve_tids_array(np.asarray(tids), pointer_scheme,
-                                       primary_index, breakdown)
+        locations = np.unique(locations)
+    _observe_lookup(plan, breakdown)
+    return PlannedQueryResult(locations, breakdown, plan)
+
+
+def execute_plan_many(plan: Plan, merged_list: list[dict[str, KeyRange]],
+                      entry: TableEntry, pointer_scheme: PointerScheme,
+                      primary_index: Index | None = None,
+                      ) -> tuple[list[np.ndarray], LookupBreakdown]:
+    """Run one plan template over a whole query batch in segmented passes.
+
+    The batched counterpart of :func:`execute_plan` for a
+    :class:`~repro.engine.planner.PlanGroup`: every per-query intermediate
+    lives in one ``(values, offsets)`` segmented array (``repro.segments``),
+    so a batch of B same-shape queries costs a constant number of
+    Python-level array passes — one ``execute_many`` per path, one
+    segmented intersection per extra path, one segmented pointer
+    resolution, one segmented validation mask per predicate column and one
+    final segmented sort — instead of B full pipelines.
+
+    Returns the per-query location arrays (input order) plus the one
+    breakdown accumulated across the batch.
+    """
+    breakdown = LookupBreakdown(lookups=len(merged_list))
+    if plan.unsatisfiable or not plan.paths:
+        empty = np.empty(0, dtype=np.int64)
+        return [empty] * len(merged_list), breakdown
+
+    tids, offsets = plan.paths[0].execute_many(merged_list, breakdown)
+    unique = plan.paths[0].produces_unique_tids
+    for path in plan.paths[1:]:
+        if tids.size == 0:
+            break
+        other, other_offsets = path.execute_many(merged_list, breakdown)
+        tids, offsets = segmented_intersect(
+            tids, offsets, other, other_offsets,
+            assume_unique=unique and path.produces_unique_tids,
+        )
+        unique = True
+
+    if plan.paths[0].produces_locations:
+        locations = tids.astype(np.int64, copy=False)
+        breakdown.candidates += int(locations.size)
+    else:
+        locations, offsets = resolve_tids_segmented(
+            tids, offsets, pointer_scheme, primary_index, breakdown
+        )
         breakdown.candidates += int(locations.size)
 
         started = time.perf_counter()
-        for column, key_range in plan.merged.items():
-            if locations.size == 0:
-                break
-            locations = entry.table.filter_in_range(
-                locations, column, key_range.low, key_range.high
-            )
+        if locations.size:
+            sizes = np.diff(offsets)
+            mask: np.ndarray | None = None
+            for column in plan.merged:
+                lows, highs = column_bounds(merged_list, column)
+                column_mask = entry.table.in_range_mask(
+                    locations, column,
+                    np.repeat(lows, sizes), np.repeat(highs, sizes),
+                )
+                mask = (column_mask if mask is None
+                        else mask & column_mask)
+            if mask is not None:
+                locations, offsets = segmented_filter(locations, offsets,
+                                                      mask)
         breakdown.base_table_seconds += time.perf_counter() - started
 
     breakdown.results += int(locations.size)
-    locations = np.unique(locations.astype(np.int64, copy=False))
+    locations = locations.astype(np.int64, copy=False)
+    if unique and (plan.paths[0].produces_locations
+                   or pointer_scheme is PointerScheme.PHYSICAL):
+        locations, offsets = segmented_sort(locations, offsets)
+    else:
+        # Logical pointers: duplicate primary keys would survive resolution
+        # as duplicate locations, so dedup exactly like the scalar path.
+        locations, offsets = segmented_unique(locations, offsets)
     _observe_lookup(plan, breakdown)
-    return PlannedQueryResult(locations, breakdown, plan)
+    return split_segments(locations, offsets), breakdown
 
 
 def _observe_lookup(plan: Plan, breakdown: LookupBreakdown) -> None:

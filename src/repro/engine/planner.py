@@ -74,6 +74,11 @@ class Plan:
     paths: list[AccessPath] = field(default_factory=list)
     estimated_cost: float = 0.0
     unsatisfiable: bool = False
+    # Snapshot of the planner's cumulative cache counters taken when this
+    # plan was handed out (None for plans that bypassed the cache, e.g.
+    # unsatisfiable ones) — the observability hook ``Database.explain``
+    # surfaces, so a workload can verify its plans actually amortise.
+    cache_stats: "PlannerCacheStats | None" = None
 
     @property
     def used_index(self) -> str | None:
@@ -105,6 +110,10 @@ class Plan:
         suffix = (f" (+ validate-only: {', '.join(validated)})"
                   if validated else "")
         lines.append(f"  validate: base table on [{columns}]{suffix}")
+        if self.cache_stats is not None:
+            stats = self.cache_stats
+            lines.append(f"  plan cache: hits={stats.hits} "
+                         f"misses={stats.misses} replays={stats.replays}")
         return "\n".join(lines)
 
 
@@ -123,6 +132,12 @@ class PlannedQueryResult:
     locations: np.ndarray
     breakdown: LookupBreakdown
     plan: Plan
+    # Number of queries that shared this result's plan template in one
+    # batched execution (1 for the per-query API).  Together with the
+    # planner's cache counters this shows how well a batch amortised
+    # planning: a batch of B same-shape queries yields group_size == B and
+    # a single planner visit.
+    group_size: int = 1
 
     def __len__(self) -> int:
         return int(self.locations.size)
@@ -135,6 +150,20 @@ def _selectivity_bucket(selectivity: float) -> int:
     return max(-64, min(0, int(math.log2(selectivity))))
 
 
+def _selectivity_bucket_array(selectivities: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_selectivity_bucket` for the batch planner.
+
+    Matches the scalar function exactly: ``int()`` truncates towards zero,
+    which is what ``astype(int64)`` does to the ``log2`` values too.
+    """
+    buckets = np.full(selectivities.size, -64, dtype=np.int64)
+    positive = selectivities > 0.0
+    if positive.any():
+        logs = np.log2(selectivities[positive]).astype(np.int64)
+        buckets[positive] = np.clip(logs, -64, 0)
+    return buckets
+
+
 # A cached plan is replayed at most this many times before a full replan.
 # Mechanism cost estimates improve as queries execute (the executor feeds
 # observed false-positive ratios back into the mechanisms), and none of the
@@ -142,6 +171,43 @@ def _selectivity_bucket(selectivity: float) -> int:
 # the amortised planning cost near zero while guaranteeing a plan priced on
 # stale estimates is reconsidered within a bounded number of queries.
 _MAX_PLAN_REPLAYS = 64
+
+
+@dataclass(frozen=True)
+class PlannerCacheStats:
+    """Cumulative plan-cache counters (the planner's observability surface).
+
+    Attributes:
+        hits: Queries served by replaying a valid cached plan.
+        misses: Queries that required fresh cost-based planning (cold cache,
+            catalog/row-count invalidation, or the replay bound expiring).
+        replays: Queries that reused a plan template without planning —
+            cache hits plus the members of batched plan groups beyond each
+            group's representative, so ``replays - hits`` is exactly the
+            planning work the batch API amortised away.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    replays: int = 0
+
+
+@dataclass
+class PlanGroup:
+    """One batch-planning group: queries that share a plan template.
+
+    Attributes:
+        plan: The template chosen (or replayed) for the group's
+            representative query; the executor rebinds per query from
+            ``merged_list`` rather than from the template's ranges.
+        indices: Positions of the group's queries in the input batch.
+        merged_list: Per-query merged key ranges, aligned with ``indices``
+            (empty dicts for unsatisfiable queries).
+    """
+
+    plan: Plan
+    indices: list[int] = field(default_factory=list)
+    merged_list: list[dict[str, KeyRange]] = field(default_factory=list)
 
 
 @dataclass
@@ -192,6 +258,14 @@ class Planner:
         self.pointer_scheme = pointer_scheme
         self.cost_model = cost_model
         self._cache: dict[tuple, _CachedPlan] = {}
+        self._hits = 0
+        self._misses = 0
+        self._replays = 0
+
+    def cache_info(self) -> PlannerCacheStats:
+        """Snapshot of the cumulative plan-cache counters."""
+        return PlannerCacheStats(hits=self._hits, misses=self._misses,
+                                 replays=self._replays)
 
     def plan(self, table_name: str, query: ConjunctiveQuery) -> Plan:
         """Choose the cheapest access-path combination for ``query``."""
@@ -217,14 +291,100 @@ class Planner:
                 and cached.catalog_version == self.catalog.version
                 and cached.row_count <= 2 * row_count
                 and row_count <= 2 * cached.row_count):
-            return cached.replay(query, merged)
+            self._hits += 1
+            self._replays += 1
+            plan = cached.replay(query, merged)
+            plan.cache_stats = self.cache_info()
+            return plan
 
+        self._misses += 1
         plan = self._plan_fresh(table_name, entry, query, merged, stats)
         self._cache[cache_key] = _CachedPlan(
             plan=plan, catalog_version=self.catalog.version,
             row_count=row_count,
         )
+        plan.cache_stats = self.cache_info()
         return plan
+
+    def plan_many(self, table_name: str,
+                  queries: "list[ConjunctiveQuery]") -> list[PlanGroup]:
+        """Group a query batch by plan shape, planning once per group.
+
+        Queries land in the same group — and share one plan template —
+        when they agree on (predicate-column set, selectivity bucket per
+        column); only each group's first query goes through :meth:`plan`
+        (cache and counters included), every further member is a pure
+        ``replays`` increment.  Group members also advance the cached
+        plan's replay bound so mechanism-estimate feedback still forces a
+        replan within a bounded number of *queries*, not batches.
+        Unsatisfiable queries collapse into one no-path group.
+
+        Grouping itself is batched: single-predicate queries — the
+        ``query_many`` fast path — are bucketed per column with one
+        vectorized selectivity pass instead of per-query stats lookups;
+        only multi-predicate conjunctions walk the scalar route.
+        """
+        groups: dict[tuple, PlanGroup] = {}
+        order: list[tuple] = []
+
+        def member(key: tuple, query: ConjunctiveQuery, position: int,
+                   merged: dict[str, KeyRange]) -> None:
+            group = groups.get(key)
+            if group is None:
+                if key[0] == "__unsatisfiable__":
+                    group = PlanGroup(plan=Plan(table_name=table_name,
+                                                query=query,
+                                                unsatisfiable=True))
+                else:
+                    group = PlanGroup(plan=self.plan(table_name, query))
+                groups[key] = group
+                order.append(key)
+            elif key[0] != "__unsatisfiable__":
+                # Unsatisfiable queries never had a plan template to reuse,
+                # so they do not count as amortised planning work.
+                self._replays += 1
+                cached = self._cache.get((table_name,) + key)
+                if cached is not None:
+                    cached.replays += 1
+            group.indices.append(position)
+            group.merged_list.append(merged)
+
+        single: dict[str, list[tuple[int, ConjunctiveQuery]]] = {}
+        for position, query in enumerate(queries):
+            if len(query.predicates) == 1:
+                single.setdefault(query.predicates[0].column, []).append(
+                    (position, query)
+                )
+                continue
+            merged = query.merged()
+            if merged is None:
+                member(("__unsatisfiable__",), query, position, {})
+                continue
+            buckets = tuple(
+                _selectivity_bucket(
+                    self.catalog.column_stats(table_name, column)
+                    .selectivity(key_range)
+                )
+                for column, key_range in merged.items()
+            )
+            member((tuple(merged), buckets), query, position, merged)
+
+        for column, members in single.items():
+            stats = self.catalog.column_stats(table_name, column)
+            count = len(members)
+            lows = np.fromiter(
+                (query.predicates[0].low for _, query in members),
+                dtype=np.float64, count=count)
+            highs = np.fromiter(
+                (query.predicates[0].high for _, query in members),
+                dtype=np.float64, count=count)
+            buckets = _selectivity_bucket_array(
+                stats.selectivity_array(lows, highs)
+            )
+            columns = (column,)
+            for (position, query), bucket in zip(members, buckets.tolist()):
+                member((columns, (bucket,)), query, position, query.merged())
+        return [groups[key] for key in order]
 
     def _plan_fresh(self, table_name: str, entry: TableEntry,
                     query: ConjunctiveQuery, merged: dict[str, KeyRange],

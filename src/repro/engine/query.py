@@ -135,3 +135,16 @@ class QueryResult:
 
     def __len__(self) -> int:
         return len(self.locations)
+
+    @classmethod
+    def from_planned(cls, planned) -> "QueryResult":
+        """Downgrade a planner result to the legacy list-based shape.
+
+        Shared by ``Database.query`` and ``Database.query_many`` so the
+        scalar and batched entry points cannot drift: the planner's sorted
+        int64 location array becomes a plain list and the driver path's
+        index name is surfaced as ``used_index``.
+        """
+        return cls(locations=planned.locations.tolist(),
+                   breakdown=planned.breakdown,
+                   used_index=planned.plan.used_index)

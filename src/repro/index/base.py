@@ -25,6 +25,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.segments import concat_segments, empty_offsets
 from repro.storage.identifiers import TupleId
 
 
@@ -199,6 +200,45 @@ class Index(abc.ABC):
         if len(arrays) == 1:
             return arrays[0]
         return np.concatenate(arrays)
+
+    def range_search_segmented(
+        self, ranges: Sequence[KeyRange],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-range results of :meth:`range_search_array` as one segmented array.
+
+        Unlike :meth:`range_search_many_array` (which unions the ranges into
+        a single flat array), the returned ``(values, offsets)`` pair keeps
+        the per-range boundaries — range ``i`` owns
+        ``values[offsets[i]:offsets[i + 1]]`` — which is what the batched
+        query executor needs to answer B queries in O(1) array passes.  The
+        default concatenates per-range array probes; ``SortedColumnIndex``
+        overrides it with a fully vectorized double-searchsorted gather.
+        """
+        return concat_segments([self.range_search_array(key_range)
+                                for key_range in ranges])
+
+    def search_many_segmented(
+        self, keys: np.ndarray, offsets: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Segmented :meth:`search_many`: one probe pass, boundaries kept.
+
+        ``keys`` is a segmented array of point-probe keys (see
+        ``repro.segments``); the result maps every segment to the
+        concatenation of its keys' tid lists, with fresh offsets (a key may
+        hit zero or several entries, so output segment sizes differ from
+        input sizes).  This is the primary-index resolution step of the
+        batched executor under logical pointers: one call resolves the
+        candidate tids of a whole query batch.  The default loops one
+        :meth:`search_many` per segment; ``BPlusTree`` overrides it with a
+        single descent pass over the flat key array.
+        """
+        keys = np.asarray(keys)
+        if keys.size == 0:
+            return np.empty(0, dtype=np.int64), empty_offsets(offsets.size - 1)
+        return concat_segments([
+            self.search_many(keys[offsets[i]:offsets[i + 1]])
+            for i in range(offsets.size - 1)
+        ])
 
     def insert_many(self, keys: Sequence[float] | np.ndarray,
                     tids: Sequence[TupleId] | np.ndarray) -> None:

@@ -227,6 +227,25 @@ class Table:
         mask &= (values >= low) & (values <= high)
         return slots[mask]
 
+    def in_range_mask(self, slots: np.ndarray, column_name: str,
+                      lows: "np.ndarray | float",
+                      highs: "np.ndarray | float") -> np.ndarray:
+        """Boolean mask of live rows whose value lies in per-slot bounds.
+
+        The segmented counterpart of :meth:`filter_in_range`: ``lows`` and
+        ``highs`` may be arrays aligned with ``slots`` (each candidate is
+        checked against *its own query's* predicate), so one call validates
+        the concatenated candidates of a whole query batch.  Dead and
+        out-of-range slots are masked out, matching the scalar method.
+        """
+        self.schema.position_of(column_name)
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.size == 0:
+            return np.zeros(0, dtype=bool)
+        clipped, mask = self._live_mask(slots)
+        values = self._columns[column_name][clipped]
+        return mask & (values >= lows) & (values <= highs)
+
     def scan(self, column_names: Sequence[str] | None = None) -> Iterator[tuple[int, dict]]:
         """Iterate ``(slot, row)`` pairs over live rows.
 

@@ -16,6 +16,7 @@ import pytest
 
 from repro.bench.hotpath import build_hotpath_setup, run_hotpath_suite
 from repro.bench.planner import run_paged_read_suite, run_planner_suite
+from repro.bench.query_throughput import run_query_throughput_suite
 from repro.bench.writepath import run_writepath_suite
 from repro.index.base import Index
 from repro.index.bptree import BPlusTree
@@ -141,6 +142,33 @@ class TestPlannerSmokeRun:
         assert measurement.results_agree
         assert measurement.total_results > 0
         assert measurement.speedup_gather > 0.5
+
+
+@pytest.mark.bench_smoke
+class TestQueryManySmokeRun:
+    @pytest.mark.parametrize("scheme", [PointerScheme.PHYSICAL,
+                                        PointerScheme.LOGICAL])
+    def test_batched_queries_agree_with_loop(self, scheme):
+        """query_many / query_conjunctive_many equal the per-query loop.
+
+        Tiny-scale race over every mechanism and batch class; the loose
+        throughput floor only catches the batch path degenerating into a
+        hidden per-query pipeline (the 3x acceptance target applies to the
+        full-scale standalone run gated in CI).
+        """
+        measurements = run_query_throughput_suite(
+            num_tuples=SMOKE_ROWS, selectivity=0.01, batch_size=12,
+            rounds=2, pointer_schemes=(scheme,),
+        )
+        assert {m.batch_class for m in measurements} == {
+            "range", "point", "conjunctive", "mixed"}
+        assert {m.mechanism for m in measurements} == {
+            "HERMIT", "Baseline", "Sorted", "CM"}
+        assert all(m.results_agree for m in measurements)
+        assert all(m.batched_vs_loop > 0.3 for m in measurements)
+        range_results = [m for m in measurements
+                         if m.batch_class == "range"]
+        assert all(m.total_results > 0 for m in range_results)
 
 
 def _mid_range(setup) -> tuple[float, float]:

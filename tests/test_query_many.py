@@ -1,0 +1,248 @@
+"""Batched query API: ``query_many`` / ``query_conjunctive_many``.
+
+The invariant pinned here is result-set equality: for any mechanism, either
+pointer scheme and any batch shape — empty-result predicates, duplicates,
+unsatisfiable conjunctions, batches spanning several plan groups — the
+batched entry points must return exactly what the per-query loop returns,
+in input order.  A second set of tests covers the plan-cache observability
+the batch path is supposed to demonstrate (hit/miss/replay counters, group
+sizes, ``explain`` surfacing).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.catalog import IndexMethod
+from repro.engine.database import Database
+from repro.engine.query import ConjunctiveQuery, RangePredicate
+from repro.storage.identifiers import PointerScheme
+from repro.storage.schema import numeric_schema
+
+SETTINGS = settings(max_examples=15, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+ROWS = 2_500
+TARGET_DOMAIN = (0.0, 1_000.0)
+METHODS = ("hermit", "btree", "sorted", "cm")
+SCHEMES = (PointerScheme.PHYSICAL, PointerScheme.LOGICAL)
+
+
+@lru_cache(maxsize=None)
+def build_database(scheme: PointerScheme, method: str) -> Database:
+    """One table (pk, host, target, payload) with a single target index.
+
+    Cached per (scheme, method): the tests only read, so every hypothesis
+    example can share one built database.
+    """
+    rng = np.random.default_rng(11)
+    low, high = TARGET_DOMAIN
+    target = rng.uniform(low, high, size=ROWS)
+    host = 2.0 * target + 10.0
+    noisy = rng.random(ROWS) < 0.02
+    host[noisy] = rng.uniform(host.min(), host.max(), size=int(noisy.sum()))
+
+    database = Database(pointer_scheme=scheme)
+    database.create_table(numeric_schema(
+        "t", ["pk", "host", "target", "payload"], primary_key="pk"))
+    database.insert_many("t", {
+        "pk": np.arange(ROWS, dtype=np.float64),
+        "host": host,
+        "target": target,
+        "payload": rng.uniform(0.0, 1.0, size=ROWS),
+    })
+    database.create_index("idx_host", "t", "host", method=IndexMethod.BTREE)
+    if method == "hermit":
+        database.create_index("idx_target", "t", "target",
+                              method=IndexMethod.HERMIT, host_column="host")
+    elif method == "btree":
+        database.create_index("idx_target", "t", "target",
+                              method=IndexMethod.BTREE)
+    elif method == "sorted":
+        database.create_index("idx_target", "t", "target",
+                              method=IndexMethod.SORTED_COLUMN)
+    elif method == "cm":
+        database.create_index("idx_target", "t", "target",
+                              method=IndexMethod.CORRELATION_MAP,
+                              host_column="host",
+                              cm_target_bucket_width=25.0,
+                              cm_host_bucket_width=50.0)
+    else:
+        raise AssertionError(method)
+    return database
+
+
+def bound_pairs(count_min: int = 0, count_max: int = 12):
+    """Batches of (low, high) bounds, including out-of-domain empties."""
+    low, high = TARGET_DOMAIN
+    bound = st.floats(min_value=low - 200.0, max_value=high + 200.0,
+                      allow_nan=False, width=64)
+    return st.lists(st.tuples(bound, bound), min_size=count_min,
+                    max_size=count_max)
+
+
+def as_predicates(pairs) -> list[RangePredicate]:
+    return [RangePredicate("target", min(a, b), max(a, b))
+            for a, b in pairs]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.value)
+@pytest.mark.parametrize("method", METHODS)
+class TestQueryManyEqualsLoop:
+    @SETTINGS
+    @given(pairs=bound_pairs())
+    def test_range_batches(self, scheme, method, pairs):
+        database = build_database(scheme, method)
+        predicates = as_predicates(pairs)
+        batched = database.query_many("t", predicates)
+        assert len(batched) == len(predicates)
+        for result, predicate in zip(batched, predicates):
+            loop = database.query("t", predicate)
+            assert result.locations == loop.locations
+
+    @SETTINGS
+    @given(pairs=bound_pairs(count_min=1, count_max=6),
+           point_count=st.integers(min_value=1, max_value=6))
+    def test_mixed_point_and_range_batches_span_plan_groups(
+            self, scheme, method, pairs, point_count):
+        """Point probes and ranges in one batch land in different groups."""
+        database = build_database(scheme, method)
+        stored = database.table("t").column_array("target")
+        predicates = as_predicates(pairs)
+        predicates.extend(
+            RangePredicate("target", float(v), float(v))
+            for v in stored[:point_count]
+        )
+        # Duplicates of the first predicate exercise same-group replays.
+        predicates.append(predicates[0])
+        batched = database.query_many("t", predicates)
+        for result, predicate in zip(batched, predicates):
+            assert result.locations == database.query("t", predicate).locations
+
+    @SETTINGS
+    @given(pairs=bound_pairs(count_min=1, count_max=5))
+    def test_conjunctive_batches(self, scheme, method, pairs):
+        """Two-column conjunctions, including an unsatisfiable one."""
+        database = build_database(scheme, method)
+        queries: list = []
+        for low, high in pairs:
+            target = RangePredicate("target", min(low, high), max(low, high))
+            host = RangePredicate("host", 2.0 * target.low + 10.0,
+                                  2.0 * target.high + 110.0)
+            queries.append(ConjunctiveQuery([target, host]))
+        queries.append(ConjunctiveQuery([
+            RangePredicate("target", 10.0, 20.0),
+            RangePredicate("target", 30.0, 40.0),  # unsatisfiable
+        ]))
+        batched = database.query_conjunctive_many("t", queries)
+        for result, query in zip(batched, queries):
+            loop = database.query_conjunctive("t", query)
+            assert np.array_equal(result.locations, loop.locations)
+            assert result.group_size >= 1
+        assert batched[-1].locations.size == 0
+        assert batched[-1].plan.unsatisfiable
+
+
+class TestBatchSemantics:
+    @pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.value)
+    def test_composite_path_batches(self, scheme):
+        """CompositePath.execute_many equals the per-query composite plan."""
+        rng = np.random.default_rng(5)
+        rows = 600
+        database = Database(pointer_scheme=scheme)
+        database.create_table(numeric_schema(
+            "c", ["pk", "a", "m", "payload"], primary_key="pk"))
+        database.insert_many("c", {
+            "pk": np.arange(rows, dtype=np.float64),
+            "a": rng.uniform(0.0, 100.0, size=rows),
+            "m": rng.uniform(0.0, 100.0, size=rows),
+            "payload": rng.uniform(size=rows),
+        })
+        database.create_composite_index("idx_am", "c", "a", "m")
+        queries = [
+            ConjunctiveQuery([RangePredicate("a", low, low + 20.0),
+                              RangePredicate("m", low + 10.0, low + 40.0)])
+            for low in (0.0, 25.0, 50.0, 75.0)
+        ]
+        batched = database.query_conjunctive_many("c", queries)
+        assert batched[0].plan.used_index == "idx_am"
+        for result, query in zip(batched, queries):
+            loop = database.query_conjunctive("c", query)
+            assert np.array_equal(result.locations, loop.locations)
+
+    def test_empty_batch(self):
+        database = build_database(PointerScheme.PHYSICAL, "btree")
+        assert database.query_many("t", []) == []
+        assert database.query_conjunctive_many("t", []) == []
+
+    def test_batch_sees_deletes(self):
+        """Validation drops rows deleted after the index was built."""
+        database = build_database(PointerScheme.PHYSICAL, "sorted")
+        predicate = RangePredicate("target", *TARGET_DOMAIN)
+        before = database.query_many("t", [predicate])[0]
+        victim = before.locations[0]
+        database.delete("t", victim)
+        try:
+            after = database.query_many("t", [predicate])[0]
+            assert victim not in after.locations
+            assert after.locations == database.query("t", predicate).locations
+        finally:
+            # The shared cached database was mutated; rebuild on next use.
+            build_database.cache_clear()
+
+    def test_results_are_sorted_unique(self):
+        database = build_database(PointerScheme.LOGICAL, "hermit")
+        predicate = RangePredicate("target", 100.0, 400.0)
+        result = database.query_conjunctive_many("t", [predicate])[0]
+        locations = result.locations
+        assert locations.dtype == np.int64
+        assert np.array_equal(locations, np.unique(locations))
+
+
+class TestPlanCacheObservability:
+    def test_group_sizes_and_counters(self):
+        database = build_database(PointerScheme.PHYSICAL, "btree")
+        planner = database.planner
+        base = planner.cache_info()
+        width = (TARGET_DOMAIN[1] - TARGET_DOMAIN[0]) * 1e-2
+        predicates = [RangePredicate("target", 10.0 * i, 10.0 * i + width)
+                      for i in range(16)]
+        results = database.query_conjunctive_many("t", predicates)
+        assert all(r.group_size == 16 for r in results)
+        info = planner.cache_info()
+        # One planner visit for the whole batch; 15 members amortised.
+        assert info.misses + info.hits == base.misses + base.hits + 1
+        assert info.replays >= base.replays + 15
+
+    def test_replays_exceed_hits_under_batching(self):
+        database = build_database(PointerScheme.PHYSICAL, "sorted")
+        database.query_many("t", [RangePredicate("target", 1.0, 2.0)
+                                  for _ in range(8)])
+        info = database.planner.cache_info()
+        assert info.replays > info.hits
+
+    def test_explain_surfaces_cache_stats(self):
+        database = build_database(PointerScheme.PHYSICAL, "btree")
+        plan = database.explain("t", RangePredicate("target", 0.0, 50.0))
+        assert plan.cache_stats is not None
+        assert "plan cache:" in plan.describe()
+
+    def test_batch_advances_replay_bound(self):
+        """Group members count against the cached plan's replay bound."""
+        from repro.engine.planner import _MAX_PLAN_REPLAYS
+        database = build_database(PointerScheme.PHYSICAL, "cm")
+        planner = database.planner
+        predicate = RangePredicate("target", 5.0, 105.0)
+        database.query("t", predicate)  # prime the cache
+        database.query_many("t", [predicate] * (2 * _MAX_PLAN_REPLAYS))
+        before = planner.cache_info()
+        # The long batch exhausted the cached plan's replay bound, so the
+        # next planner visit must replan from scratch.
+        database.query("t", predicate)
+        after = planner.cache_info()
+        assert after.misses == before.misses + 1
