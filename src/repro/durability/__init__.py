@@ -1,0 +1,45 @@
+"""Durability subsystem: write-ahead log, checkpoints, recovery, faults.
+
+Kept import-light on purpose: ``engine/database.py`` imports the config and
+manager submodules, while :mod:`repro.durability.recovery` imports
+``Database`` — so ``recover`` is exposed lazily to avoid a cycle.
+"""
+
+from repro.durability.config import (
+    DurabilityConfig,
+    DurabilityStats,
+    FsyncPolicy,
+    RecoveryTimings,
+)
+from repro.durability.faultinject import (
+    FaultInjector,
+    FaultPoint,
+    FaultyFile,
+    FsyncFailure,
+    SimulatedCrash,
+)
+from repro.durability.wal import WalOp, WalRecord, WriteAheadLog, scan_wal
+
+__all__ = [
+    "DurabilityConfig",
+    "DurabilityStats",
+    "FsyncPolicy",
+    "RecoveryTimings",
+    "FaultInjector",
+    "FaultPoint",
+    "FaultyFile",
+    "FsyncFailure",
+    "SimulatedCrash",
+    "WalOp",
+    "WalRecord",
+    "WriteAheadLog",
+    "scan_wal",
+    "recover",
+]
+
+
+def __getattr__(name: str):
+    if name == "recover":
+        from repro.durability.recovery import recover
+        return recover
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

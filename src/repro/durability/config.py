@@ -1,0 +1,155 @@
+"""Configuration and observability types for the durability subsystem.
+
+The durability plane is strictly opt-in: a :class:`~repro.engine.database.Database`
+constructed without a :class:`DurabilityConfig` never touches the filesystem
+and pays no per-operation overhead beyond a single ``is None`` check.  With a
+config attached, every DDL/DML call is appended to a write-ahead log before it
+mutates engine state, and :meth:`Database.checkpoint` snapshots the base
+tables so recovery replays only the WAL tail.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+
+class FsyncPolicy(enum.Enum):
+    """When the WAL forces its appends to stable storage.
+
+    * ``ALWAYS`` — ``fsync`` after every appended record (classic
+      commit-per-record durability; slowest, loses nothing on a crash).
+    * ``BATCH``  — group commit: ``fsync`` once every
+      ``DurabilityConfig.fsync_interval`` records and on explicit
+      :meth:`~repro.durability.wal.WriteAheadLog.flush`.  A crash can lose at
+      most the unsynced suffix of the log.
+    * ``OFF``    — never ``fsync`` (the OS page cache decides); a crash may
+      lose any buffered suffix, but whatever prefix survives is still
+      replayable thanks to the per-record checksums.
+    """
+
+    ALWAYS = "always"
+    BATCH = "batch"
+    OFF = "off"
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Parameters of the durability plane.
+
+    Attributes:
+        directory: Directory holding the WAL and checkpoints.  Created on
+            first use.
+        fsync: The :class:`FsyncPolicy` of the write-ahead log.
+        fsync_interval: Group-commit size under ``FsyncPolicy.BATCH`` — the
+            WAL fsyncs once per this many appended records.
+        checkpoint_interval_records: Automatically checkpoint after this many
+            WAL records have accumulated since the previous checkpoint;
+            ``None`` leaves checkpointing fully manual
+            (:meth:`Database.checkpoint`).
+        keep_checkpoints: How many most-recent valid checkpoints to retain
+            when a new one is written.
+        opener: Factory used to open the WAL file for appending — the seam
+            the fault-injection harness plugs into
+            (:class:`repro.durability.faultinject.FaultInjector` supplies one
+            that can kill the process mid-write or fail ``fsync``).  ``None``
+            uses the real filesystem.
+    """
+
+    directory: str
+    fsync: FsyncPolicy = FsyncPolicy.BATCH
+    fsync_interval: int = 64
+    checkpoint_interval_records: int | None = None
+    keep_checkpoints: int = 1
+    opener: Callable | None = None
+
+    def __post_init__(self) -> None:
+        if not self.directory:
+            raise ConfigurationError("durability directory must be non-empty")
+        if self.fsync_interval < 1:
+            raise ConfigurationError("fsync_interval must be at least 1")
+        if (self.checkpoint_interval_records is not None
+                and self.checkpoint_interval_records < 1):
+            raise ConfigurationError(
+                "checkpoint_interval_records must be at least 1"
+            )
+        if self.keep_checkpoints < 1:
+            raise ConfigurationError("keep_checkpoints must be at least 1")
+
+
+@dataclass
+class RecoveryTimings:
+    """Wall-clock breakdown of one recovery, surfaced on DurabilityStats.
+
+    Attributes:
+        checkpoint_load_s: Loading + restoring the newest valid checkpoint.
+        rebuild_s: Rebuilding the primary index and every secondary
+            mechanism from the restored base tables (the paper's
+            cheap-to-rebuild story: mechanisms are never logged, only
+            rebuilt).
+        wal_replay_s: Replaying the WAL tail through the batched DML paths.
+        records_replayed: WAL records applied after the checkpoint.
+        total_s: End-to-end recovery time.
+    """
+
+    checkpoint_load_s: float = 0.0
+    rebuild_s: float = 0.0
+    wal_replay_s: float = 0.0
+    records_replayed: int = 0
+    total_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for JSON benchmark records."""
+        return {
+            "checkpoint_load_s": self.checkpoint_load_s,
+            "rebuild_s": self.rebuild_s,
+            "wal_replay_s": self.wal_replay_s,
+            "records_replayed": self.records_replayed,
+            "total_s": self.total_s,
+        }
+
+
+@dataclass
+class DurabilityStats:
+    """Counters surfaced by :meth:`Database.durability_stats`.
+
+    Attributes:
+        enabled: Whether a durability config is attached at all.
+        wal_records: Records appended to the WAL over this process's
+            lifetime (not counting replayed ones).
+        last_lsn: LSN of the most recently appended record (0 = none yet).
+        wal_bytes: Bytes appended to the WAL by this process.
+        fsyncs: Number of ``fsync`` calls the WAL issued.
+        checkpoint_lsn: LSN covered by the newest checkpoint (0 = none).
+        checkpoint_age: WAL records appended since the newest checkpoint —
+            the length of the tail a crash right now would have to replay.
+        recovery: Timings of the recovery that produced this database, if
+            it was produced by one.
+    """
+
+    enabled: bool = False
+    wal_records: int = 0
+    last_lsn: int = 0
+    wal_bytes: int = 0
+    fsyncs: int = 0
+    checkpoint_lsn: int = 0
+    checkpoint_age: int = 0
+    recovery: RecoveryTimings | None = field(default=None)
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for JSON benchmark records."""
+        payload = {
+            "enabled": self.enabled,
+            "wal_records": self.wal_records,
+            "last_lsn": self.last_lsn,
+            "wal_bytes": self.wal_bytes,
+            "fsyncs": self.fsyncs,
+            "checkpoint_lsn": self.checkpoint_lsn,
+            "checkpoint_age": self.checkpoint_age,
+        }
+        if self.recovery is not None:
+            payload["recovery"] = self.recovery.as_dict()
+        return payload

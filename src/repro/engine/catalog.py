@@ -129,6 +129,10 @@ class IndexEntry:
             is the leading key).
         is_preexisting: Whether the index existed before the experiment's
             "new" indexes were added; drives the space-breakdown labels.
+        definition: JSON-serialisable creation parameters (resolved method,
+            host column, TRS-Tree/CM configuration).  The durability layer
+            logs it on ``create_index`` and embeds it in checkpoint
+            manifests so recovery can rebuild the mechanism from data.
     """
 
     name: str
@@ -139,6 +143,7 @@ class IndexEntry:
     host_column: str | None = None
     second_column: str | None = None
     is_preexisting: bool = False
+    definition: dict | None = None
 
 
 @dataclass

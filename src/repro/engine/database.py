@@ -28,6 +28,7 @@ without executing it.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Sequence
 
 import numpy as np
@@ -50,9 +51,11 @@ from repro.engine.executor import (
     execute_plan_many,
     execute_with_index,
 )
+from repro.durability.config import DurabilityConfig, DurabilityStats
+from repro.durability.manager import DurabilityManager
 from repro.engine.planner import Plan, PlannedQueryResult, Planner
 from repro.engine.query import ConjunctiveQuery, QueryResult, RangePredicate
-from repro.errors import CatalogError, QueryError
+from repro.errors import CatalogError, DurabilityError, QueryError
 from repro.index.bptree import BPlusTree
 from repro.index.composite import CompositeSecondaryIndex
 from repro.index.sorted_column import SortedColumnIndex
@@ -71,24 +74,39 @@ class Database:
         size_model: Analytic memory model shared by every structure.
         advisor: Host-column advisor consulted by ``IndexMethod.AUTO``.
         cost_model: Cost-model constants driving the query planner.
+        durability: When given, every DDL/DML operation is write-ahead
+            logged to ``durability.directory`` before it is applied, and
+            :meth:`checkpoint` / auto-checkpointing become available.  The
+            directory must be empty of prior state — use
+            :func:`repro.durability.recovery.recover` to reopen one.  The
+            default (``None``) keeps the engine purely in memory at zero
+            added cost.
     """
 
     def __init__(self, pointer_scheme: PointerScheme = PointerScheme.PHYSICAL,
                  trs_config: TRSTreeConfig = DEFAULT_CONFIG,
                  size_model: SizeModel = DEFAULT_SIZE_MODEL,
                  advisor: HostColumnAdvisor | None = None,
-                 cost_model: CostModel = DEFAULT_COST_MODEL) -> None:
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 durability: DurabilityConfig | None = None) -> None:
         self.pointer_scheme = pointer_scheme
         self.trs_config = trs_config
         self.size_model = size_model
         self.advisor = advisor or HostColumnAdvisor()
         self.catalog = Catalog()
         self.planner = Planner(self.catalog, pointer_scheme, cost_model)
+        self._durability: DurabilityManager | None = (
+            DurabilityManager(durability) if durability is not None else None
+        )
 
     # ------------------------------------------------------------------ DDL
 
     def create_table(self, schema: TableSchema) -> Table:
         """Create a table along with its primary index."""
+        if schema.name in self.catalog:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        if self._durability is not None:
+            self._durability.log_create_table(schema)
         table = Table(schema, size_model=self.size_model)
         primary_index = BPlusTree(size_model=self.size_model)
         self.catalog.add_table(schema.name, table, primary_index)
@@ -125,9 +143,39 @@ class Database:
         entry = self.catalog.table_entry(table_name)
         table = entry.table
         table.schema.position_of(column)
+        if name in entry.indexes:
+            raise CatalogError(
+                f"index {name!r} already exists on table {table_name!r}"
+            )
 
         if method is IndexMethod.AUTO:
             method, host_column = self._advise(entry, column, host_column)
+
+        # Resolve everything that can fail *before* the WAL record is
+        # written: the log must only ever hold operations that succeed.
+        host_index = None
+        if method is IndexMethod.HERMIT:
+            host_column = host_column or self._advise(entry, column, None)[1]
+            host_index = self._host_index_for(entry, column, host_column)
+        elif method is IndexMethod.CORRELATION_MAP:
+            if host_column is None:
+                raise QueryError("CORRELATION_MAP requires an explicit host column")
+            if cm_target_bucket_width is None or cm_host_bucket_width is None:
+                raise QueryError("CORRELATION_MAP requires both bucket widths")
+            host_index = self._host_index_for(entry, column, host_column)
+        elif method not in (IndexMethod.BTREE, IndexMethod.SORTED_COLUMN):
+            raise QueryError(f"unsupported index method {method!r}")
+
+        definition = {
+            "name": name, "table": table_name, "column": column,
+            "method": method.value, "host_column": host_column,
+            "trs_config": asdict(trs_config) if trs_config is not None else None,
+            "cm_target_bucket_width": cm_target_bucket_width,
+            "cm_host_bucket_width": cm_host_bucket_width,
+            "preexisting": preexisting,
+        }
+        if self._durability is not None:
+            self._durability.log_create_index(definition)
 
         if method in (IndexMethod.BTREE, IndexMethod.SORTED_COLUMN):
             backing = (SortedColumnIndex(size_model=self.size_model)
@@ -139,8 +187,6 @@ class Database:
             )
             mechanism.build()
         elif method is IndexMethod.HERMIT:
-            host_column = host_column or self._advise(entry, column, None)[1]
-            host_index = self._host_index_for(entry, column, host_column)
             mechanism = HermitIndex(
                 table, column, host_column, host_index,
                 primary_index=entry.primary_index,
@@ -149,12 +195,7 @@ class Database:
                 size_model=self.size_model,
             )
             mechanism.build(parallelism=parallelism)
-        elif method is IndexMethod.CORRELATION_MAP:
-            if host_column is None:
-                raise QueryError("CORRELATION_MAP requires an explicit host column")
-            if cm_target_bucket_width is None or cm_host_bucket_width is None:
-                raise QueryError("CORRELATION_MAP requires both bucket widths")
-            host_index = self._host_index_for(entry, column, host_column)
+        else:
             mechanism = CorrelationMap(
                 table, column, host_column, host_index,
                 target_bucket_width=cm_target_bucket_width,
@@ -164,13 +205,11 @@ class Database:
                 size_model=self.size_model,
             )
             mechanism.build()
-        else:
-            raise QueryError(f"unsupported index method {method!r}")
 
         index_entry = IndexEntry(
             name=name, table_name=table_name, column=column, method=method,
             mechanism=mechanism, host_column=host_column,
-            is_preexisting=preexisting,
+            is_preexisting=preexisting, definition=definition,
         )
         self.catalog.add_index(index_entry)
         return index_entry
@@ -195,6 +234,17 @@ class Database:
         entry.table.schema.position_of(second_column)
         if leading_column == second_column:
             raise QueryError("composite index needs two distinct columns")
+        if name in entry.indexes:
+            raise CatalogError(
+                f"index {name!r} already exists on table {table_name!r}"
+            )
+        definition = {
+            "name": name, "table": table_name,
+            "leading_column": leading_column, "second_column": second_column,
+            "preexisting": preexisting,
+        }
+        if self._durability is not None:
+            self._durability.log_create_composite_index(definition)
         mechanism = CompositeSecondaryIndex(
             entry.table, leading_column, second_column,
             primary_index=entry.primary_index,
@@ -205,12 +255,20 @@ class Database:
             name=name, table_name=table_name, column=leading_column,
             method=IndexMethod.COMPOSITE, mechanism=mechanism,
             second_column=second_column, is_preexisting=preexisting,
+            definition=definition,
         )
         self.catalog.add_index(index_entry)
         return index_entry
 
     def drop_index(self, table_name: str, index_name: str) -> None:
         """Drop a secondary index."""
+        entry = self.catalog.table_entry(table_name)
+        if index_name not in entry.indexes:
+            raise CatalogError(
+                f"index {index_name!r} does not exist on table {table_name!r}"
+            )
+        if self._durability is not None:
+            self._durability.log_drop_index(table_name, index_name)
         self.catalog.drop_index(table_name, index_name)
 
     def _advise(self, entry: TableEntry, column: str,
@@ -277,6 +335,11 @@ class Database:
         """
         entry = self.catalog.table_entry(table_name)
         table = entry.table
+        if self._durability is not None:
+            # Full dry-run validation first: the WAL may only contain
+            # operations that the table is guaranteed to accept on replay.
+            if table.validate_insert_many(columns) > 0:
+                self._durability.log_insert_many(table_name, columns)
         locations = [int(loc) for loc in table.insert_many(columns)]
         if not locations:
             return locations
@@ -293,6 +356,8 @@ class Database:
             column_data = self._batch_columns(table, columns, location_array)
             for index_entry in entry.indexes.values():
                 index_entry.mechanism.insert_many(column_data, location_array)
+        if self._durability is not None:
+            self._durability.maybe_auto_checkpoint(self)
         return locations
 
     @staticmethod
@@ -324,10 +389,14 @@ class Database:
         """Delete the row at ``location``, maintaining all indexes."""
         entry = self.catalog.table_entry(table_name)
         row = entry.table.fetch(location)
+        if self._durability is not None:
+            self._durability.log_delete(table_name, int(location))
         for index_entry in entry.indexes.values():
             index_entry.mechanism.delete(row, location)
         entry.primary_index.delete(float(row[entry.table.schema.primary_key]), location)
         entry.table.delete(location)
+        if self._durability is not None:
+            self._durability.maybe_auto_checkpoint(self)
 
     def update(self, table_name: str, location: int, changes: dict) -> None:
         """Update a row in place, maintaining all indexes.
@@ -342,6 +411,12 @@ class Database:
         """
         entry = self.catalog.table_entry(table_name)
         old_row = entry.table.fetch(location)
+        # Validate (and coerce) every change before logging or touching any
+        # state: a rejected update must leave the table, the WAL and every
+        # index exactly as they were.
+        entry.table.validate_changes(changes)
+        if self._durability is not None:
+            self._durability.log_update(table_name, int(location), changes)
         entry.table.update(location, changes)
         new_row = entry.table.fetch(location)
         primary = entry.table.schema.primary_key
@@ -352,6 +427,47 @@ class Database:
             entry.primary_index.insert(new_key, location)
         for index_entry in entry.indexes.values():
             index_entry.mechanism.update(old_row, new_row, location)
+        if self._durability is not None:
+            self._durability.maybe_auto_checkpoint(self)
+
+    # ------------------------------------------------------------- durability
+
+    @property
+    def durability(self) -> DurabilityManager | None:
+        """The attached durability manager, or ``None`` when disabled."""
+        return self._durability
+
+    def attach_durability(self, manager: DurabilityManager) -> None:
+        """Attach a resumed durability manager (used by recovery)."""
+        if self._durability is not None:
+            raise DurabilityError("durability is already attached")
+        self._durability = manager
+
+    def checkpoint(self) -> int:
+        """Snapshot all tables and truncate the WAL; returns the covered LSN.
+
+        Raises:
+            DurabilityError: If durability is not enabled.
+        """
+        if self._durability is None:
+            raise DurabilityError("durability is not enabled on this database")
+        return self._durability.checkpoint(self)
+
+    def flush_wal(self) -> None:
+        """Force the WAL to stable storage (no-op when durability is off)."""
+        if self._durability is not None:
+            self._durability.flush()
+
+    def durability_stats(self) -> DurabilityStats:
+        """WAL/checkpoint/recovery counters; ``enabled=False`` when off."""
+        if self._durability is None:
+            return DurabilityStats(enabled=False)
+        return self._durability.stats()
+
+    def close(self) -> None:
+        """Flush and close the WAL, if any.  The database stays queryable."""
+        if self._durability is not None:
+            self._durability.close()
 
     # ---------------------------------------------------------------- queries
 

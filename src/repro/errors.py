@@ -48,6 +48,21 @@ class KeyNotFoundError(IndexError_):
     """A key expected to be present in an index is missing."""
 
 
+class DurabilityError(ReproError):
+    """The durability subsystem rejected an operation (bad WAL payload,
+    missing checkpoint, unserialisable value, ...)."""
+
+
+class WalCorruptionError(DurabilityError):
+    """A write-ahead-log file is corrupt beyond the tolerated torn tail.
+
+    Torn tails (an incomplete or checksum-failing final record) are *not*
+    errors — recovery truncates them silently.  This error marks corruption
+    that cannot be explained by a crashed append, e.g. a bad record in the
+    middle of the log followed by valid data.
+    """
+
+
 class CatalogError(ReproError):
     """The catalog rejected an operation (unknown table, duplicate index, ...)."""
 

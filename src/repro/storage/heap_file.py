@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
-from repro.errors import TupleNotFoundError
+from repro.errors import PageError, TupleNotFoundError
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.identifiers import decode_page_slot, encode_page_slot
 from repro.storage.pages import slots_per_page
@@ -51,11 +51,20 @@ class HeapFile:
         return [self.insert(row) for row in rows]
 
     def delete(self, location: int) -> None:
-        """Delete the row at ``location``."""
+        """Delete the row at ``location``.
+
+        Raises:
+            TupleNotFoundError: If ``location`` is out of range or does not
+                hold a live tuple.
+        """
         page_id, slot = self._decode(location)
         page = self.pool.fetch_page(page_id)
         try:
             page.delete(slot)
+        except PageError:
+            raise TupleNotFoundError(
+                f"location {location} does not hold a live tuple"
+            ) from None
         finally:
             self.pool.unpin_page(page_id, dirty=True)
         self._num_rows -= 1
@@ -63,25 +72,37 @@ class HeapFile:
     # ------------------------------------------------------------------- read
 
     def fetch(self, location: int) -> dict:
-        """Fetch the row at ``location`` as a dict."""
-        page_id, slot = self._decode(location)
-        page = self.pool.fetch_page(page_id)
-        try:
-            payload = page.read(slot)
-        finally:
-            self.pool.unpin_page(page_id)
+        """Fetch the row at ``location`` as a dict.
+
+        Raises:
+            TupleNotFoundError: If ``location`` is out of range or does not
+                hold a live tuple.
+        """
+        payload = self._read(location)
         return {column.name: payload[i] for i, column in enumerate(self.schema)}
 
     def value(self, location: int, column_name: str):
-        """Fetch a single column of the row at ``location``."""
+        """Fetch a single column of the row at ``location``.
+
+        Raises:
+            TupleNotFoundError: If ``location`` is out of range or does not
+                hold a live tuple.
+        """
         position = self.schema.position_of(column_name)
+        return self._read(location)[position]
+
+    def _read(self, location: int) -> tuple:
+        """Read the raw tuple at ``location``, typed-error on dead slots."""
         page_id, slot = self._decode(location)
         page = self.pool.fetch_page(page_id)
         try:
-            payload = page.read(slot)
+            return page.read(slot)
+        except PageError:
+            raise TupleNotFoundError(
+                f"location {location} does not hold a live tuple"
+            ) from None
         finally:
             self.pool.unpin_page(page_id)
-        return payload[position]
 
     def scan(self) -> Iterator[tuple[int, dict]]:
         """Iterate ``(location, row)`` pairs over all live rows."""

@@ -9,6 +9,7 @@ main-memory RDBMS with physical tuple pointers behaves.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -16,9 +17,31 @@ import numpy as np
 from repro.errors import SchemaError, StorageError, TupleNotFoundError
 from repro.storage.identifiers import RowLocation
 from repro.storage.memory import DEFAULT_SIZE_MODEL, MemoryReport, SizeModel
-from repro.storage.schema import ColumnStatistics, DataType, TableSchema
+from repro.storage.schema import Column, ColumnStatistics, DataType, TableSchema
 
 _INITIAL_CAPACITY = 64
+
+
+@dataclass
+class TableSnapshot:
+    """A copy of a table's physical state, as captured by :meth:`Table.snapshot`.
+
+    Attributes:
+        columns: Column name → array of the first ``next_slot`` values
+            (dead slots included, so row locations stay stable across a
+            checkpoint/restore round trip).
+        live: Liveness bitmap aligned with the column arrays.
+        next_slot: Number of allocated slots.
+        statistics: Column name → ``(count, minimum, maximum)`` of the
+            running optimizer statistics — these observe *all* values ever
+            inserted (deleted rows included), so they cannot be rebuilt
+            from the live data and must travel with the snapshot.
+    """
+
+    columns: dict[str, np.ndarray]
+    live: np.ndarray
+    next_slot: int
+    statistics: dict[str, tuple[int, float, float]]
 
 
 class Table:
@@ -53,16 +76,27 @@ class Table:
     def insert(self, row: dict) -> RowLocation:
         """Insert one row and return its location.
 
+        Validation and value coercion happen before any slot is touched, so
+        a rejected row leaves the table (including its running statistics)
+        exactly as it was.
+
         Raises:
-            SchemaError: If the row does not match the schema.
+            SchemaError: If the row does not match the schema or a value
+                cannot be coerced to its column's dtype.
         """
         self.schema.validate_row(row)
-        slot = self._allocate_slot()
+        prepared = []
         for column in self.schema:
-            value = row.get(column.name, self._null_value(column.dtype))
-            self._columns[column.name][slot] = value
-            if column.name in row and column.dtype is not DataType.STRING:
-                self.statistics[column.name].observe(float(value))
+            if column.name in row:
+                stored, stats_value = self._coerce_value(column, row[column.name])
+            else:
+                stored, stats_value = self._null_value(column.dtype), None
+            prepared.append((column.name, stored, stats_value))
+        slot = self._allocate_slot()
+        for name, stored, stats_value in prepared:
+            self._columns[name][slot] = stored
+            if stats_value is not None:
+                self.statistics[name].observe(stats_value)
         self._live[slot] = True
         self._live_count += 1
         return RowLocation(slot)
@@ -77,14 +111,69 @@ class Table:
         Returns:
             The locations of the inserted rows, in insertion order.
         """
-        if not rows:
+        count = self.validate_insert_columns(rows)
+        if count == 0:
             return []
+        # Coerce every supplied column before touching any storage or
+        # statistics: a batch rejected here (bad dtype, unparsable string)
+        # leaves the table bit-identical to before the call.
+        prepared: list[tuple[str, object, np.ndarray | None]] = []
+        for column in self.schema:
+            if column.name not in rows:
+                prepared.append((column.name, None, None))
+                continue
+            if column.dtype is DataType.STRING:
+                prepared.append((column.name, rows[column.name], None))
+                continue
+            raw = np.asarray(rows[column.name])
+            target_dtype = column.dtype.numpy_dtype
+            try:
+                coerced = (raw if raw.dtype == target_dtype
+                           else raw.astype(target_dtype))
+                observed = raw.astype(np.float64, copy=False)
+            except (ValueError, TypeError) as error:
+                raise SchemaError(
+                    f"column {column.name!r} cannot coerce to "
+                    f"{column.dtype.value}: {error}"
+                ) from error
+            prepared.append((column.name, coerced, observed))
+        start = self._next_slot
+        self._reserve(start + count)
+        for name, values, observed in prepared:
+            target = self._columns[name]
+            if values is None:
+                target[start:start + count] = self._null_value(
+                    self.schema.column(name).dtype
+                )
+            else:
+                target[start:start + count] = values
+                if observed is not None:
+                    self.statistics[name].observe_many(observed)
+        self._live[start:start + count] = True
+        self._next_slot = start + count
+        self._live_count += count
+        return [RowLocation(slot) for slot in range(start, start + count)]
+
+    def validate_insert_columns(self, rows: dict[str, Sequence]) -> int:
+        """Schema-check an ``insert_many`` batch without mutating anything.
+
+        Returns the row count of the batch (0 for an empty one).  This is
+        the pre-mutation validation gate: the write-ahead log calls it
+        before a batch is logged so a record is only ever written for an
+        operation that the table will accept.
+
+        Raises:
+            StorageError: On unequal column lengths or unknown columns.
+            SchemaError: If a non-nullable column is missing.
+        """
+        if not rows:
+            return 0
         lengths = {len(values) for values in rows.values()}
         if len(lengths) != 1:
             raise StorageError("insert_many received columns of unequal length")
         count = lengths.pop()
         if count == 0:
-            return []
+            return 0
         for name in rows:
             if name not in self.schema:
                 raise StorageError(
@@ -96,23 +185,41 @@ class Table:
                     f"insert_many is missing non-nullable column "
                     f"{column.name!r}"
                 )
-        start = self._next_slot
-        self._reserve(start + count)
+        return count
+
+    def validate_insert_many(self, rows: dict[str, Sequence]) -> int:
+        """Full dry run of :meth:`insert_many`: schema *and* dtype checks.
+
+        The write-ahead log uses this as its pre-logging gate — it must
+        reject everything :meth:`insert_many` would reject (including
+        values that fail dtype coercion), so a logged batch is guaranteed
+        to replay successfully.
+
+        Returns the row count of the batch (0 for an empty one).
+
+        Raises:
+            StorageError: On unequal column lengths or unknown columns.
+            SchemaError: On a missing non-nullable column or an uncoercible
+                value.
+        """
+        count = self.validate_insert_columns(rows)
+        if count == 0:
+            return 0
         for column in self.schema:
-            target = self._columns[column.name]
-            if column.name in rows:
-                values = np.asarray(rows[column.name])
-                target[start:start + count] = values
-                if column.dtype is not DataType.STRING:
-                    self.statistics[column.name].observe_many(
-                        values.astype(np.float64)
-                    )
-            else:
-                target[start:start + count] = self._null_value(column.dtype)
-        self._live[start:start + count] = True
-        self._next_slot = start + count
-        self._live_count += count
-        return [RowLocation(slot) for slot in range(start, start + count)]
+            if column.name not in rows or column.dtype is DataType.STRING:
+                continue
+            raw = np.asarray(rows[column.name])
+            target_dtype = column.dtype.numpy_dtype
+            try:
+                if raw.dtype != target_dtype:
+                    raw.astype(target_dtype)
+                raw.astype(np.float64, copy=False)
+            except (ValueError, TypeError) as error:
+                raise SchemaError(
+                    f"column {column.name!r} cannot coerce to "
+                    f"{column.dtype.value}: {error}"
+                ) from error
+        return count
 
     def delete(self, location: RowLocation | int) -> None:
         """Mark the row at ``location`` as deleted.
@@ -127,17 +234,42 @@ class Table:
     def update(self, location: RowLocation | int, changes: dict) -> None:
         """Update columns of a live row in place.
 
+        Every change is validated and coerced *before* the first column is
+        written: a rejected update (unknown column, uncoercible value)
+        leaves the row, and the running statistics, untouched — previously
+        a failure on the second change could leave the first one applied.
+
         Raises:
             TupleNotFoundError: If the slot does not hold a live row.
             StorageError: If ``changes`` references an unknown column.
+            SchemaError: If a value cannot be coerced to its column's dtype.
         """
         slot = self._check_live(location)
+        prepared = self.validate_changes(changes)
+        for name, (stored, stats_value) in prepared.items():
+            self._columns[name][slot] = stored
+            if stats_value is not None:
+                self.statistics[name].observe(stats_value)
+
+    def validate_changes(self, changes: dict) -> dict[str, tuple]:
+        """Validate and coerce an update's changes without mutating anything.
+
+        Returns:
+            Column name → ``(stored value, observed float or None)``, ready
+            to apply.  Callers that need the post-coercion value before the
+            write happens (the primary-key re-keying check, the write-ahead
+            log) use this as the pre-mutation gate.
+
+        Raises:
+            StorageError: If a change references an unknown column.
+            SchemaError: If a value cannot be coerced to its column's dtype.
+        """
+        prepared: dict[str, tuple] = {}
         for name, value in changes.items():
             if name not in self.schema:
                 raise StorageError(f"update references unknown column {name!r}")
-            self._columns[name][slot] = value
-            if self.schema.column(name).dtype is not DataType.STRING:
-                self.statistics[name].observe(float(value))
+            prepared[name] = self._coerce_value(self.schema.column(name), value)
+        return prepared
 
     # ------------------------------------------------------------------- read
 
@@ -341,6 +473,89 @@ class Table:
         if not (0 <= slot < self._next_slot) or not self._live[slot]:
             raise TupleNotFoundError(f"slot {slot} does not hold a live row")
         return slot
+
+    def _coerce_value(self, column: Column, value) -> tuple:
+        """Coerce one value to its column's stored dtype, without mutating.
+
+        Returns:
+            ``(stored value, float observed by the statistics or None)``.
+            The coercion uses numpy assignment semantics (``2.7`` into an
+            INT64 column stores ``2``) while the statistics observe the raw
+            value, matching the behaviour of the apply loops.
+
+        Raises:
+            SchemaError: If the value cannot be stored in the column.
+        """
+        if column.dtype is DataType.STRING:
+            return value, None
+        scratch = np.empty(1, dtype=column.dtype.numpy_dtype)
+        try:
+            scratch[0] = value
+            observed = float(value)
+        except (ValueError, TypeError, OverflowError) as error:
+            raise SchemaError(
+                f"value {value!r} cannot be stored in column "
+                f"{column.name!r} ({column.dtype.value})"
+            ) from error
+        return scratch[0], observed
+
+    # ------------------------------------------------------------- durability
+
+    def snapshot(self) -> TableSnapshot:
+        """Copy the table's physical state for a checkpoint."""
+        n = self._next_slot
+        return TableSnapshot(
+            columns={name: array[:n].copy()
+                     for name, array in self._columns.items()},
+            live=self._live[:n].copy(),
+            next_slot=n,
+            statistics={name: (stats.count, stats.minimum, stats.maximum)
+                        for name, stats in self.statistics.items()},
+        )
+
+    def restore_snapshot(self, columns: dict[str, Sequence], live: Sequence,
+                         next_slot: int,
+                         statistics: dict[str, tuple] | None = None) -> None:
+        """Restore physical state captured by :meth:`snapshot` (recovery).
+
+        Only valid on a freshly created, empty table: restoring is the
+        checkpoint-load half of recovery, never a general overwrite.
+
+        Raises:
+            StorageError: If the table is not empty or the snapshot does
+                not line up with the schema.
+        """
+        if self._next_slot:
+            raise StorageError(
+                "restore_snapshot requires an empty table "
+                f"(this one has {self._next_slot} allocated slots)"
+            )
+        live = np.asarray(live, dtype=bool)
+        if len(live) != next_slot:
+            raise StorageError("snapshot liveness length != next_slot")
+        for column in self.schema:
+            if column.name not in columns:
+                raise StorageError(
+                    f"snapshot is missing column {column.name!r}"
+                )
+            if len(columns[column.name]) != next_slot:
+                raise StorageError(
+                    f"snapshot column {column.name!r} length != next_slot"
+                )
+        self._reserve(max(next_slot, 1))
+        for column in self.schema:
+            self._columns[column.name][:next_slot] = np.asarray(
+                columns[column.name], dtype=column.dtype.numpy_dtype
+            )
+        self._live[:next_slot] = live
+        self._next_slot = next_slot
+        self._live_count = int(live.sum())
+        for name, (count, minimum, maximum) in (statistics or {}).items():
+            if name in self.statistics:
+                self.statistics[name] = ColumnStatistics(
+                    count=int(count), minimum=float(minimum),
+                    maximum=float(maximum),
+                )
 
     @staticmethod
     def _null_value(dtype: DataType):

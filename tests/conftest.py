@@ -13,6 +13,12 @@ def pytest_configure(config):
         "so the vectorized lookup path cannot silently regress to the scalar "
         "fallback (deselect with '-m \"not bench_smoke\"')",
     )
+    config.addinivalue_line(
+        "markers",
+        "fault_injection: crash/torn-write/fsync-failure recovery tests "
+        "driven by the durability fault harness; CI runs them as a "
+        "dedicated step (select with '-m fault_injection')",
+    )
 
 from repro.engine.catalog import IndexMethod
 from repro.engine.database import Database
