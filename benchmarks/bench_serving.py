@@ -1,0 +1,130 @@
+"""Serving front end under open-loop load — coalesced vs. per-call.
+
+Not a paper figure: this benchmark pins the serving layer's contract.
+``num_clients`` simulated client streams issue point/range requests at an
+offered rate above the engine's calibrated per-call capacity; routing them
+through the coalescing :class:`repro.serving.Server` must (a) return
+exactly the per-call results and (b) sustain at least the per-call QPS
+(gated >= 1.0 by ``check_regression.py``; the acceptance demonstration at
+CI scale is >= 2x).  The emitted record also carries p50/p99 latency
+against the *scheduled* arrivals, so queueing delay is part of the story.
+
+Run as pytest (small scale, correctness + sanity ratio)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -s
+
+or standalone, emitting a JSON record for the perf trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py \
+        --rows 60000 --clients 64 --requests-per-client 40 \
+        --output serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import pytest
+
+from repro.bench.serving import (
+    ServingMeasurement,
+    build_serving_setup,
+    measure_serving,
+)
+from repro.bench.timing import scaled
+
+SMALL_SCALE_ROWS = 8_000
+
+
+def format_measurement(measurement: ServingMeasurement) -> str:
+    """Plain-text summary of one open-loop run."""
+    m = measurement
+    return "\n".join([
+        f"clients {m.num_clients}, requests {m.num_requests}, "
+        f"offered {m.offered_qps / 1e3:.1f}K qps "
+        f"(rows {m.num_tuples})",
+        f"  per-call : {m.percall_qps / 1e3:>8.1f}K qps   "
+        f"p50 {m.percall_p50_ms:>7.2f} ms   p99 {m.percall_p99_ms:>7.2f} ms",
+        f"  coalesced: {m.coalesced_qps / 1e3:>8.1f}K qps   "
+        f"p50 {m.coalesced_p50_ms:>7.2f} ms   "
+        f"p99 {m.coalesced_p99_ms:>7.2f} ms   "
+        f"(mean batch {m.mean_batch:.1f}, max {m.max_batch})",
+        f"  coalesced vs per-call: {m.coalesced_vs_percall:.2f}x   "
+        f"agree: {m.results_agree}",
+    ])
+
+
+@pytest.mark.serving
+@pytest.mark.figure("serving")
+def test_coalesced_serving_beats_percall(benchmark):
+    """Small-scale run: results agree; coalescing never collapses."""
+    def run():
+        setup = build_serving_setup(scaled(SMALL_SCALE_ROWS))
+        return measure_serving(setup, num_clients=16,
+                               requests_per_client=20, rounds=2)
+
+    measurement, _ = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_measurement(measurement))
+    assert measurement.results_agree
+    # At smoke scale the schedule is short and thread startup is a visible
+    # fraction; pin a loose floor that still catches the server degenerating
+    # into per-request execution.
+    assert measurement.coalesced_vs_percall > 0.5
+    assert measurement.mean_batch > 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--rows", type=int, default=60_000,
+                        help="rows in the Synthetic table (default 60k)")
+    parser.add_argument("--clients", type=int, default=64,
+                        help="simulated client streams (default 64)")
+    parser.add_argument("--requests-per-client", type=int, default=40,
+                        help="requests per client stream (default 40)")
+    parser.add_argument("--overload", type=float, default=3.0,
+                        help="offered rate as a multiple of calibrated "
+                             "per-call capacity (default 3.0)")
+    parser.add_argument("--selectivity", type=float, default=2e-3,
+                        help="range-request selectivity (default 2e-3)")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="interleaved best-of rounds (default 5)")
+    parser.add_argument("--output", default="bench_serving.json",
+                        help="path of the emitted JSON record")
+    args = parser.parse_args(argv)
+
+    setup = build_serving_setup(args.rows)
+    measurement, _ = measure_serving(
+        setup, num_clients=args.clients,
+        requests_per_client=args.requests_per_client,
+        selectivity=args.selectivity, overload=args.overload,
+        rounds=args.rounds,
+    )
+    print(format_measurement(measurement))
+
+    bundle = {
+        "records": [
+            {
+                "benchmark": "serving",
+                "rows": args.rows,
+                "clients": args.clients,
+                "overload": args.overload,
+                "measurements": [measurement.as_dict()],
+            },
+        ],
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(bundle, handle, indent=2)
+    print(f"\nwrote {args.output}")
+
+    if not measurement.results_agree:
+        print("ERROR: coalesced and per-call results disagree",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

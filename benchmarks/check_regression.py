@@ -80,6 +80,13 @@ GATED_METRICS = {
         "wal_always_ratio": 0.5,
         "recovery_vs_insert": 0.5,
     },
+    # Serving front end: coalesced sustained QPS over per-call under the
+    # same open-loop arrival schedule.  The acceptance demonstration at CI
+    # scale is >= 2x (typical best-of-5: 2.0-2.5x), but open-loop runs on
+    # shared runners are scheduling-noise-sensitive, so the hard floor is
+    # the contract itself — coalescing must never *lose* to per-call —
+    # and the 30% baseline tolerance polices the 2x margin.
+    "serving": {"coalesced_vs_percall": 1.0},
 }
 # Measurement fields that identify "the same measurement" across runs.
 KEY_FIELDS = ("workload", "mechanism", "pointer_scheme", "host_index")

@@ -148,13 +148,23 @@ class IndexEntry:
 
 @dataclass
 class TableEntry:
-    """Catalog record of one table and its primary index."""
+    """Catalog record of one table and its primary index.
+
+    ``data_epoch`` counts committed mutations (DML write epochs) against the
+    table — :meth:`Catalog.bump_data_epoch` is called by the database facade
+    once per committed ``insert_many`` / ``update`` / ``delete``.  The
+    statistics cache and the planner's plan cache key their freshness on it,
+    which is what lets a long-lived plan template notice that the table it
+    was priced against has drifted even when the row count stays within the
+    coarse 2x replan window.
+    """
 
     name: str
     table: Table
     primary_index: object
     indexes: dict[str, IndexEntry] = field(default_factory=dict)
     correlations: list[CorrelationCandidate] = field(default_factory=list)
+    data_epoch: int = 0
 
 
 class Catalog:
@@ -163,9 +173,11 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, TableEntry] = {}
         self._version = 0
-        # (table, column) -> (observation count, stats); rebuilt when the
-        # table has observed new values or its live row count changed.
-        self._stats_cache: dict[tuple[str, str], tuple[int, ColumnStats]] = {}
+        # (table, column) -> (observation count, data epoch, stats); rebuilt
+        # when the table has observed new values, committed a mutation epoch
+        # or changed its live row count.
+        self._stats_cache: dict[tuple[str, str],
+                                tuple[int, int, ColumnStats]] = {}
 
     @property
     def version(self) -> int:
@@ -225,6 +237,21 @@ class Catalog:
         self._version += 1
         return dropped
 
+    def bump_data_epoch(self, table_name: str) -> int:
+        """Record one committed mutation against ``table_name``.
+
+        Returns the table's new data epoch.  Called by the database facade
+        under the write side of its :class:`~repro.engine.epochs.EpochManager`,
+        so the bump is always ordered after the mutation it records.
+        """
+        entry = self.table_entry(table_name)
+        entry.data_epoch += 1
+        return entry.data_epoch
+
+    def data_epoch(self, table_name: str) -> int:
+        """Committed-mutation count of a table (see :class:`TableEntry`)."""
+        return self.table_entry(table_name).data_epoch
+
     def indexes_on(self, table_name: str) -> list[IndexEntry]:
         """All secondary indexes of a table."""
         return list(self.table_entry(table_name).indexes.values())
@@ -260,10 +287,11 @@ class Catalog:
         cached = self._stats_cache.get(cache_key)
         row_count = entry.table.num_rows
         if (cached is not None and cached[0] == observed.count
-                and cached[1].row_count == row_count):
-            return cached[1]
+                and cached[1] == entry.data_epoch
+                and cached[2].row_count == row_count):
+            return cached[2]
         stats = ColumnStats(row_count, observed.minimum, observed.maximum)
-        self._stats_cache[cache_key] = (observed.count, stats)
+        self._stats_cache[cache_key] = (observed.count, entry.data_epoch, stats)
         return stats
 
     def record_correlation(self, table_name: str,

@@ -24,10 +24,22 @@ catalog's per-column statistics pick the cheapest access path per
 predicate, candidate tid sets are intersected vectorized, and one batched
 base-table pass validates every predicate.  ``explain()`` returns the plan
 without executing it.
+
+The canonical read entry points are :meth:`Database.execute` (one
+:class:`~repro.engine.query.QueryRequest` in, one
+:class:`~repro.engine.query.QueryResult` out) and
+:meth:`Database.execute_many` (a request batch, grouped by table and plan
+shape internally).  ``query`` / ``query_many`` / ``query_conjunctive`` /
+``query_conjunctive_many`` are thin wrappers kept for their ergonomic
+signatures.  Every read runs under the shared side of the database's
+:class:`~repro.engine.epochs.EpochManager` and every mutation under the
+exclusive side, so concurrent front ends (``repro.serving``) get
+epoch-consistent results — a read never observes a half-applied mutation.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict
 from typing import Sequence
 
@@ -53,8 +65,14 @@ from repro.engine.executor import (
 )
 from repro.durability.config import DurabilityConfig, DurabilityStats
 from repro.durability.manager import DurabilityManager
+from repro.engine.epochs import EpochManager
 from repro.engine.planner import Plan, PlannedQueryResult, Planner
-from repro.engine.query import ConjunctiveQuery, QueryResult, RangePredicate
+from repro.engine.query import (
+    ConjunctiveQuery,
+    QueryRequest,
+    QueryResult,
+    RangePredicate,
+)
 from repro.errors import CatalogError, DurabilityError, QueryError
 from repro.index.bptree import BPlusTree
 from repro.index.composite import CompositeSecondaryIndex
@@ -95,6 +113,9 @@ class Database:
         self.advisor = advisor or HostColumnAdvisor()
         self.catalog = Catalog()
         self.planner = Planner(self.catalog, pointer_scheme, cost_model)
+        # Reader-writer epoch protocol: reads share, DDL/DML excludes.  One
+        # manager per database (see repro.engine.epochs for why coarse).
+        self.epochs = EpochManager()
         self._durability: DurabilityManager | None = (
             DurabilityManager(durability) if durability is not None else None
         )
@@ -103,14 +124,15 @@ class Database:
 
     def create_table(self, schema: TableSchema) -> Table:
         """Create a table along with its primary index."""
-        if schema.name in self.catalog:
-            raise CatalogError(f"table {schema.name!r} already exists")
-        if self._durability is not None:
-            self._durability.log_create_table(schema)
-        table = Table(schema, size_model=self.size_model)
-        primary_index = BPlusTree(size_model=self.size_model)
-        self.catalog.add_table(schema.name, table, primary_index)
-        return table
+        with self.epochs.write():
+            if schema.name in self.catalog:
+                raise CatalogError(f"table {schema.name!r} already exists")
+            if self._durability is not None:
+                self._durability.log_create_table(schema)
+            table = Table(schema, size_model=self.size_model)
+            primary_index = BPlusTree(size_model=self.size_model)
+            self.catalog.add_table(schema.name, table, primary_index)
+            return table
 
     def create_index(self, name: str, table_name: str, column: str,
                      method: IndexMethod = IndexMethod.BTREE,
@@ -140,6 +162,20 @@ class Database:
         Returns:
             The catalog entry of the new index.
         """
+        with self.epochs.write():
+            return self._create_index(
+                name, table_name, column, method, host_column, trs_config,
+                cm_target_bucket_width, cm_host_bucket_width, preexisting,
+                parallelism,
+            )
+
+    def _create_index(self, name: str, table_name: str, column: str,
+                      method: IndexMethod, host_column: str | None,
+                      trs_config: TRSTreeConfig | None,
+                      cm_target_bucket_width: float | None,
+                      cm_host_bucket_width: float | None,
+                      preexisting: bool, parallelism: int) -> IndexEntry:
+        """:meth:`create_index` body, called under the write side."""
         entry = self.catalog.table_entry(table_name)
         table = entry.table
         table.schema.position_of(column)
@@ -229,6 +265,15 @@ class Database:
             second_column: Second key column.
             preexisting: Space-breakdown label, as for :meth:`create_index`.
         """
+        with self.epochs.write():
+            return self._create_composite_index(
+                name, table_name, leading_column, second_column, preexisting,
+            )
+
+    def _create_composite_index(self, name: str, table_name: str,
+                                leading_column: str, second_column: str,
+                                preexisting: bool) -> IndexEntry:
+        """:meth:`create_composite_index` body, under the write side."""
         entry = self.catalog.table_entry(table_name)
         entry.table.schema.position_of(leading_column)
         entry.table.schema.position_of(second_column)
@@ -262,14 +307,16 @@ class Database:
 
     def drop_index(self, table_name: str, index_name: str) -> None:
         """Drop a secondary index."""
-        entry = self.catalog.table_entry(table_name)
-        if index_name not in entry.indexes:
-            raise CatalogError(
-                f"index {index_name!r} does not exist on table {table_name!r}"
-            )
-        if self._durability is not None:
-            self._durability.log_drop_index(table_name, index_name)
-        self.catalog.drop_index(table_name, index_name)
+        with self.epochs.write():
+            entry = self.catalog.table_entry(table_name)
+            if index_name not in entry.indexes:
+                raise CatalogError(
+                    f"index {index_name!r} does not exist on table "
+                    f"{table_name!r}"
+                )
+            if self._durability is not None:
+                self._durability.log_drop_index(table_name, index_name)
+            self.catalog.drop_index(table_name, index_name)
 
     def _advise(self, entry: TableEntry, column: str,
                 host_column: str | None) -> tuple[IndexMethod, str | None]:
@@ -333,32 +380,36 @@ class Database:
         Returns:
             The locations of the inserted rows, in insertion order.
         """
-        entry = self.catalog.table_entry(table_name)
-        table = entry.table
-        if self._durability is not None:
-            # Full dry-run validation first: the WAL may only contain
-            # operations that the table is guaranteed to accept on replay.
-            if table.validate_insert_many(columns) > 0:
-                self._durability.log_insert_many(table_name, columns)
-        locations = [int(loc) for loc in table.insert_many(columns)]
-        if not locations:
+        with self.epochs.write():
+            entry = self.catalog.table_entry(table_name)
+            table = entry.table
+            if self._durability is not None:
+                # Full dry-run validation first: the WAL may only contain
+                # operations that the table is guaranteed to accept on replay.
+                if table.validate_insert_many(columns) > 0:
+                    self._durability.log_insert_many(table_name, columns)
+            locations = [int(loc) for loc in table.insert_many(columns)]
+            if not locations:
+                return locations
+            location_array = np.asarray(locations, dtype=np.int64)
+            primary = table.schema.primary_key
+            primary_values = np.asarray(columns[primary], dtype=np.float64)
+            if entry.primary_index.num_entries == 0:
+                entry.primary_index.bulk_load(
+                    zip(primary_values.tolist(), locations)
+                )
+            else:
+                entry.primary_index.insert_many(primary_values, location_array)
+            if entry.indexes:
+                column_data = self._batch_columns(table, columns,
+                                                  location_array)
+                for index_entry in entry.indexes.values():
+                    index_entry.mechanism.insert_many(column_data,
+                                                      location_array)
+            self.catalog.bump_data_epoch(table_name)
+            if self._durability is not None:
+                self._durability.maybe_auto_checkpoint(self)
             return locations
-        location_array = np.asarray(locations, dtype=np.int64)
-        primary = table.schema.primary_key
-        primary_values = np.asarray(columns[primary], dtype=np.float64)
-        if entry.primary_index.num_entries == 0:
-            entry.primary_index.bulk_load(
-                zip(primary_values.tolist(), locations)
-            )
-        else:
-            entry.primary_index.insert_many(primary_values, location_array)
-        if entry.indexes:
-            column_data = self._batch_columns(table, columns, location_array)
-            for index_entry in entry.indexes.values():
-                index_entry.mechanism.insert_many(column_data, location_array)
-        if self._durability is not None:
-            self._durability.maybe_auto_checkpoint(self)
-        return locations
 
     @staticmethod
     def _batch_columns(table: Table, columns: dict[str, Sequence],
@@ -387,16 +438,20 @@ class Database:
 
     def delete(self, table_name: str, location: int) -> None:
         """Delete the row at ``location``, maintaining all indexes."""
-        entry = self.catalog.table_entry(table_name)
-        row = entry.table.fetch(location)
-        if self._durability is not None:
-            self._durability.log_delete(table_name, int(location))
-        for index_entry in entry.indexes.values():
-            index_entry.mechanism.delete(row, location)
-        entry.primary_index.delete(float(row[entry.table.schema.primary_key]), location)
-        entry.table.delete(location)
-        if self._durability is not None:
-            self._durability.maybe_auto_checkpoint(self)
+        with self.epochs.write():
+            entry = self.catalog.table_entry(table_name)
+            row = entry.table.fetch(location)
+            if self._durability is not None:
+                self._durability.log_delete(table_name, int(location))
+            for index_entry in entry.indexes.values():
+                index_entry.mechanism.delete(row, location)
+            entry.primary_index.delete(
+                float(row[entry.table.schema.primary_key]), location
+            )
+            entry.table.delete(location)
+            self.catalog.bump_data_epoch(table_name)
+            if self._durability is not None:
+                self._durability.maybe_auto_checkpoint(self)
 
     def update(self, table_name: str, location: int, changes: dict) -> None:
         """Update a row in place, maintaining all indexes.
@@ -409,26 +464,28 @@ class Database:
         then fails to resolve (the row silently vanishes from query
         results), and a later :meth:`delete` misses the index entry.
         """
-        entry = self.catalog.table_entry(table_name)
-        old_row = entry.table.fetch(location)
-        # Validate (and coerce) every change before logging or touching any
-        # state: a rejected update must leave the table, the WAL and every
-        # index exactly as they were.
-        entry.table.validate_changes(changes)
-        if self._durability is not None:
-            self._durability.log_update(table_name, int(location), changes)
-        entry.table.update(location, changes)
-        new_row = entry.table.fetch(location)
-        primary = entry.table.schema.primary_key
-        old_key = float(old_row[primary])
-        new_key = float(new_row[primary])
-        if old_key != new_key:
-            entry.primary_index.delete(old_key, location)
-            entry.primary_index.insert(new_key, location)
-        for index_entry in entry.indexes.values():
-            index_entry.mechanism.update(old_row, new_row, location)
-        if self._durability is not None:
-            self._durability.maybe_auto_checkpoint(self)
+        with self.epochs.write():
+            entry = self.catalog.table_entry(table_name)
+            old_row = entry.table.fetch(location)
+            # Validate (and coerce) every change before logging or touching
+            # any state: a rejected update must leave the table, the WAL and
+            # every index exactly as they were.
+            entry.table.validate_changes(changes)
+            if self._durability is not None:
+                self._durability.log_update(table_name, int(location), changes)
+            entry.table.update(location, changes)
+            new_row = entry.table.fetch(location)
+            primary = entry.table.schema.primary_key
+            old_key = float(old_row[primary])
+            new_key = float(new_row[primary])
+            if old_key != new_key:
+                entry.primary_index.delete(old_key, location)
+                entry.primary_index.insert(new_key, location)
+            for index_entry in entry.indexes.values():
+                index_entry.mechanism.update(old_row, new_row, location)
+            self.catalog.bump_data_epoch(table_name)
+            if self._durability is not None:
+                self._durability.maybe_auto_checkpoint(self)
 
     # ------------------------------------------------------------- durability
 
@@ -471,42 +528,80 @@ class Database:
 
     # ---------------------------------------------------------------- queries
 
+    def execute(self, request: QueryRequest) -> QueryResult:
+        """Answer one :class:`QueryRequest` — the canonical read entry point.
+
+        Point, range and conjunctive requests all take this path: the
+        request's conjunction goes through the planner (point probes hit its
+        single-column fast path), the chosen plan executes under the read
+        side of the epoch protocol, and the result records the write epoch
+        it observed.
+        """
+        planned = self.query_conjunctive(request.table, request.query)
+        return QueryResult.from_planned(planned)
+
+    def execute_many(self,
+                     requests: Sequence[QueryRequest]) -> list[QueryResult]:
+        """Answer a request batch, batched end to end — the serving path.
+
+        Requests are grouped by table, then by plan shape
+        (:meth:`Planner.plan_many`), and every group runs through the
+        segmented batch executor under one shared read acquisition — so a
+        coalesced batch observes exactly one committed epoch, which every
+        returned result records.  Results come back aligned with the input
+        (mixed-table batches are fine; order within the batch is
+        preserved).
+        """
+        requests = list(requests)
+        results: list[QueryResult | None] = [None] * len(requests)
+        by_table: dict[str, list[int]] = {}
+        for position, request in enumerate(requests):
+            by_table.setdefault(request.table, []).append(position)
+        with self.epochs.read() as epoch:
+            for table_name, positions in by_table.items():
+                entry = self.catalog.table_entry(table_name)
+                conjunctives = [requests[p].query for p in positions]
+                for group in self.planner.plan_many(table_name, conjunctives):
+                    locations_per_query, breakdown = execute_plan_many(
+                        group.plan, group.merged_list, entry,
+                        self.pointer_scheme, entry.primary_index,
+                    )
+                    used_index = group.plan.used_index
+                    group_size = len(group.indices)
+                    for member, locations in zip(group.indices,
+                                                 locations_per_query):
+                        results[positions[member]] = QueryResult(
+                            locations=locations.tolist(), breakdown=breakdown,
+                            used_index=used_index, plan=group.plan,
+                            group_size=group_size, epoch=epoch,
+                        )
+        return results
+
     def query(self, table_name: str, predicate: RangePredicate) -> QueryResult:
         """Execute a single-column predicate through the planner.
 
-        Kept API-compatible with the pre-planner engine: the result carries a
-        sorted list of row locations and the name of the index that served
-        the predicate (``None`` for a full scan).
+        Thin wrapper over :meth:`execute` kept API-compatible with the
+        pre-planner engine: the result carries a sorted list of row
+        locations and the name of the index that served the predicate
+        (``None`` for a full scan).
         """
-        planned = self.query_conjunctive(table_name, [predicate])
-        return QueryResult.from_planned(planned)
+        return self.execute(QueryRequest.of(table_name, predicate))
 
     def query_many(self, table_name: str,
                    predicates: Sequence[RangePredicate]) -> list[QueryResult]:
         """Execute a batch of single-column predicates, batched end to end.
 
-        Result-set-equivalent to ``[self.query(table_name, p) for p in
-        predicates]`` but planned once per (column, selectivity-bucket)
-        group and executed by the segmented batch executor — B queries cost
-        O(1) Python-level array passes per plan group instead of B full
-        planner/executor pipelines.  Results come back in input order.
+        Thin wrapper over :meth:`execute_many`: result-set-equivalent to
+        ``[self.query(table_name, p) for p in predicates]`` but planned
+        once per (column, selectivity-bucket) group and executed by the
+        segmented batch executor — B queries cost O(1) Python-level array
+        passes per plan group instead of B full planner/executor
+        pipelines.  Results come back in input order.
         """
-        conjunctives = [ConjunctiveQuery((predicate,))
-                        for predicate in predicates]
-        entry = self.catalog.table_entry(table_name)
-        results: list[QueryResult | None] = [None] * len(conjunctives)
-        for group in self.planner.plan_many(table_name, conjunctives):
-            locations_per_query, breakdown = execute_plan_many(
-                group.plan, group.merged_list, entry, self.pointer_scheme,
-                entry.primary_index,
-            )
-            used_index = group.plan.used_index
-            for position, locations in zip(group.indices, locations_per_query):
-                results[position] = QueryResult(
-                    locations=locations.tolist(), breakdown=breakdown,
-                    used_index=used_index,
-                )
-        return results
+        return self.execute_many(
+            [QueryRequest.of(table_name, predicate)
+             for predicate in predicates]
+        )
 
     def query_conjunctive(
         self, table_name: str,
@@ -530,10 +625,13 @@ class Database:
             int64 array and whose ``plan`` explains the chosen paths.
         """
         query = self._as_conjunctive(query)
-        entry = self.catalog.table_entry(table_name)
-        plan = self.planner.plan(table_name, query)
-        return execute_plan(plan, entry, self.pointer_scheme,
-                            entry.primary_index)
+        with self.epochs.read() as epoch:
+            entry = self.catalog.table_entry(table_name)
+            plan = self.planner.plan(table_name, query)
+            result = execute_plan(plan, entry, self.pointer_scheme,
+                                  entry.primary_index)
+        result.epoch = epoch
+        return result
 
     def query_conjunctive_many(
         self, table_name: str,
@@ -557,18 +655,21 @@ class Database:
         meaningful in aggregate once the phases are batched).
         """
         conjunctives = [self._as_conjunctive(query) for query in queries]
-        entry = self.catalog.table_entry(table_name)
         results: list[PlannedQueryResult | None] = [None] * len(conjunctives)
-        for group in self.planner.plan_many(table_name, conjunctives):
-            locations_per_query, breakdown = execute_plan_many(
-                group.plan, group.merged_list, entry, self.pointer_scheme,
-                entry.primary_index,
-            )
-            for position, locations in zip(group.indices, locations_per_query):
-                results[position] = PlannedQueryResult(
-                    locations=locations, breakdown=breakdown,
-                    plan=group.plan, group_size=len(group.indices),
+        with self.epochs.read() as epoch:
+            entry = self.catalog.table_entry(table_name)
+            for group in self.planner.plan_many(table_name, conjunctives):
+                locations_per_query, breakdown = execute_plan_many(
+                    group.plan, group.merged_list, entry, self.pointer_scheme,
+                    entry.primary_index,
                 )
+                for position, locations in zip(group.indices,
+                                               locations_per_query):
+                    results[position] = PlannedQueryResult(
+                        locations=locations, breakdown=breakdown,
+                        plan=group.plan, group_size=len(group.indices),
+                        epoch=epoch,
+                    )
         return results
 
     def explain(self, table_name: str,
@@ -590,25 +691,49 @@ class Database:
 
     def query_with(self, table_name: str, index_name: str,
                    predicate: RangePredicate) -> QueryResult:
-        """Execute a predicate through a specific named index (for benchmarks)."""
-        entry = self.catalog.table_entry(table_name)
-        index_entry = entry.indexes.get(index_name)
-        if index_entry is None:
-            raise CatalogError(
-                f"index {index_name!r} does not exist on table {table_name!r}"
-            )
-        if index_entry.method is IndexMethod.COMPOSITE:
-            raise QueryError(
-                f"composite index {index_name!r} cannot serve a single "
-                f"predicate; use query_conjunctive with predicates on "
-                f"{index_entry.column!r} and {index_entry.second_column!r}"
-            )
-        if index_entry.column != predicate.column:
-            raise QueryError(
-                f"index {index_name!r} is on column {index_entry.column!r}, "
-                f"not {predicate.column!r}"
-            )
-        return execute_with_index(index_entry, predicate)
+        """Execute a predicate through a specific named index.
+
+        .. deprecated::
+            Route reads through :meth:`execute` / :meth:`query` instead —
+            the planner picks the index, and :meth:`explain` shows which
+            one it would pick.  ``query_with`` bypasses the planner (no
+            plan caching, no cost comparison) and survives only for the
+            mechanism-vs-mechanism benchmarks that need to force a
+            specific index; those call the internal helper directly.
+        """
+        warnings.warn(
+            "Database.query_with is deprecated: route reads through "
+            "Database.execute / Database.query (the planner picks the "
+            "index; explain() shows which one)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self._query_with(table_name, index_name, predicate)
+
+    def _query_with(self, table_name: str, index_name: str,
+                    predicate: RangePredicate) -> QueryResult:
+        """:meth:`query_with` body without the deprecation warning."""
+        with self.epochs.read() as epoch:
+            entry = self.catalog.table_entry(table_name)
+            index_entry = entry.indexes.get(index_name)
+            if index_entry is None:
+                raise CatalogError(
+                    f"index {index_name!r} does not exist on table "
+                    f"{table_name!r}"
+                )
+            if index_entry.method is IndexMethod.COMPOSITE:
+                raise QueryError(
+                    f"composite index {index_name!r} cannot serve a single "
+                    f"predicate; use query_conjunctive with predicates on "
+                    f"{index_entry.column!r} and {index_entry.second_column!r}"
+                )
+            if index_entry.column != predicate.column:
+                raise QueryError(
+                    f"index {index_name!r} is on column "
+                    f"{index_entry.column!r}, not {predicate.column!r}"
+                )
+            result = execute_with_index(index_entry, predicate)
+        result.epoch = epoch
+        return result
 
     # ------------------------------------------------------------- accounting
 

@@ -1,0 +1,142 @@
+"""Mutation epochs: the engine's reader-writer protocol.
+
+Until the serving layer existed the engine was single-threaded by
+assumption — nothing stopped a mutation from interleaving with a read
+half-way through index maintenance, because nothing ever did.  The serving
+front end (``repro.serving``) breaks that assumption: coalesced read
+batches execute on worker threads while writers keep calling
+``insert_many`` / ``update`` / ``delete``.  :class:`EpochManager` makes the
+assumption explicit instead of implicit:
+
+* **Reads share, writes exclude.**  Any number of reads may run
+  concurrently; a write waits for in-flight reads to drain and blocks new
+  ones until it commits.  A read therefore always observes the engine
+  *between* mutations — never a half-applied one (the "torn read" a
+  concurrent insert could otherwise produce while the table is updated but
+  a secondary index is not yet).
+* **Every committed write is one epoch.**  The manager keeps a monotonic
+  counter bumped when the outermost write releases.  Reads are handed the
+  epoch they executed under, so results can be ordered against mutations,
+  and the epoch feeds the catalog's statistics cache and the planner's
+  plan-cache invalidation (a cached plan is replanned after a bounded
+  number of write epochs, so mutation-driven statistics drift cannot go
+  unnoticed forever).
+* **Writer preference.**  New readers queue behind a waiting writer so a
+  steady read load cannot starve mutations — the serving benchmark's
+  open-loop read stream would otherwise lock writers out indefinitely.
+* **Reentrant per thread.**  ``Database.query`` calls
+  ``query_conjunctive`` internally and the writer occasionally reads its
+  own tables mid-mutation; both sides count per-thread depth so nested
+  acquisitions are free.  The one illegal move is upgrading — asking for
+  the write side while holding the read side — which would deadlock
+  against the thread's own read and raises
+  :class:`~repro.errors.ConcurrencyError` instead.
+
+The locking is deliberately coarse (one manager per database, not per
+table): under the GIL the engine's array passes serialise anyway, so the
+win of finer locks would be noise while the risk — lock-order deadlocks
+between table and catalog mutations — is real.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import ConcurrencyError
+
+
+class EpochManager:
+    """Reentrant reader-writer lock with a monotonic write-epoch counter.
+
+    Attributes:
+        current: The number of committed write epochs so far.  Reading it
+            without holding either side is intentionally allowed — it is a
+            single int assignment away from consistent, and every consumer
+            that needs exactness (the planner's freshness check, a read's
+            reported epoch) reads it under the lock via :meth:`read` /
+            :meth:`write`.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._waiting_writers = 0
+        self._writer: int | None = None
+        self._writer_depth = 0
+        self._epoch = 0
+        self._local = threading.local()
+
+    @property
+    def current(self) -> int:
+        """Number of committed write epochs."""
+        return self._epoch
+
+    def _read_depth(self) -> int:
+        return getattr(self._local, "read_depth", 0)
+
+    @contextmanager
+    def read(self) -> Iterator[int]:
+        """Acquire the shared side; yields the epoch the read executes under.
+
+        Reentrant: nested reads on the same thread, and reads inside the
+        thread's own write, are free.  A fresh read queues behind any
+        active or waiting writer (writer preference).
+        """
+        me = threading.get_ident()
+        depth = self._read_depth()
+        with self._cond:
+            if depth == 0 and self._writer != me:
+                while self._writer is not None or self._waiting_writers:
+                    self._cond.wait()
+                self._active_readers += 1
+            self._local.read_depth = depth + 1
+            epoch = self._epoch
+        try:
+            yield epoch
+        finally:
+            with self._cond:
+                self._local.read_depth = depth
+                if depth == 0 and self._writer != me:
+                    self._active_readers -= 1
+                    if self._active_readers == 0:
+                        self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[int]:
+        """Acquire the exclusive side; yields the epoch this write commits as.
+
+        Reentrant on the same thread; only the outermost release bumps the
+        epoch (one logical mutation = one epoch).  Raises
+        :class:`~repro.errors.ConcurrencyError` when the calling thread
+        holds the read side — the upgrade would deadlock against itself.
+        """
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+            else:
+                if self._read_depth():
+                    raise ConcurrencyError(
+                        "cannot acquire the write side while holding the "
+                        "read side (read-to-write upgrade would deadlock)"
+                    )
+                self._waiting_writers += 1
+                try:
+                    while self._writer is not None or self._active_readers:
+                        self._cond.wait()
+                finally:
+                    self._waiting_writers -= 1
+                self._writer = me
+                self._writer_depth = 1
+            epoch = self._epoch + 1
+        try:
+            yield epoch
+        finally:
+            with self._cond:
+                self._writer_depth -= 1
+                if self._writer_depth == 0:
+                    self._writer = None
+                    self._epoch += 1
+                    self._cond.notify_all()

@@ -138,6 +138,9 @@ class PlannedQueryResult:
     # planning: a batch of B same-shape queries yields group_size == B and
     # a single planner visit.
     group_size: int = 1
+    # Write epoch the read executed under (None when the caller ran outside
+    # the epoch protocol); see repro.engine.epochs.
+    epoch: int | None = None
 
     def __len__(self) -> int:
         return int(self.locations.size)
@@ -171,6 +174,14 @@ def _selectivity_bucket_array(selectivities: np.ndarray) -> np.ndarray:
 # the amortised planning cost near zero while guaranteeing a plan priced on
 # stale estimates is reconsidered within a bounded number of queries.
 _MAX_PLAN_REPLAYS = 64
+
+# A cached plan also expires after this many committed write epochs against
+# its table (TableEntry.data_epoch, bumped once per insert_many / update /
+# delete).  The 2x row-count window catches bulk growth but is blind to
+# mutations that leave the count roughly unchanged — a steady
+# update/delete+insert churn can shift a column's min/max (and therefore
+# every selectivity the plan was priced on) without ever tripping it.
+_MAX_EPOCH_DRIFT = 32
 
 
 @dataclass(frozen=True)
@@ -217,6 +228,7 @@ class _CachedPlan:
     plan: Plan
     catalog_version: int
     row_count: int
+    data_epoch: int = 0
     replays: int = 0
 
     def replay(self, query: ConjunctiveQuery,
@@ -238,10 +250,21 @@ class Planner:
     would dwarf a point probe if paid on every call — so chosen plans are
     cached per (table, predicate-column set) and replayed while the index
     set is unchanged (catalog version), the table has not grown or shrunk
-    past 2x, and the query's per-column selectivity stays in the same
-    power-of-two bucket.  Any of those changing — or a cached plan hitting
-    its replay bound (mechanism cost estimates improve as observed
-    false-positive ratios accumulate) — replans from scratch.
+    past 2x, the table has committed fewer than ``_MAX_EPOCH_DRIFT`` write
+    epochs since the plan was priced, and the query's per-column
+    selectivity stays in the same power-of-two bucket.  Any of those
+    changing — or a cached plan hitting its replay bound (mechanism cost
+    estimates improve as observed false-positive ratios accumulate) —
+    replans from scratch.
+
+    Single-column *point* requests additionally skip the per-call
+    selectivity bucketing: every point on a column estimates to the same
+    ~1/n selectivity, so the planner keeps a direct (table, column) →
+    cache-slot pointer and replays the cached plan after only the cheap
+    freshness checks.  Point probes are dispatch-dominated (the probe
+    itself touches a handful of rows), which made the stats lookup +
+    ``log2`` bucketing a measurable fraction of the whole query; the fast
+    path exists to close that gap.
 
     Args:
         catalog: The catalog providing index entries and column statistics.
@@ -258,6 +281,13 @@ class Planner:
         self.pointer_scheme = pointer_scheme
         self.cost_model = cost_model
         self._cache: dict[tuple, _CachedPlan] = {}
+        # (table, column) -> generic cache key of the slot that last served a
+        # point probe on that column.  The point fast path follows this
+        # pointer into ``_cache`` directly, skipping the stats lookup and
+        # selectivity bucketing; the slot itself (freshness checks, replay
+        # bound, counters) is shared with the generic path, so the fast path
+        # cannot outlive any invalidation signal.
+        self._point_keys: dict[tuple[str, str], tuple] = {}
         self._hits = 0
         self._misses = 0
         self._replays = 0
@@ -267,9 +297,47 @@ class Planner:
         return PlannerCacheStats(hits=self._hits, misses=self._misses,
                                  replays=self._replays)
 
+    def _is_fresh(self, cached: _CachedPlan, entry: TableEntry) -> bool:
+        """Whether a cached plan may still be replayed against ``entry``.
+
+        Fresh means: under its replay bound, chosen from the current index
+        set, the table's live row count within 2x of the count it was priced
+        at, and fewer than ``_MAX_EPOCH_DRIFT`` write epochs committed since.
+        """
+        row_count = entry.table.num_rows
+        return (cached.replays < _MAX_PLAN_REPLAYS
+                and cached.catalog_version == self.catalog.version
+                and cached.row_count <= 2 * row_count
+                and row_count <= 2 * cached.row_count
+                and entry.data_epoch - cached.data_epoch <= _MAX_EPOCH_DRIFT)
+
     def plan(self, table_name: str, query: ConjunctiveQuery) -> Plan:
         """Choose the cheapest access-path combination for ``query``."""
         entry = self.catalog.table_entry(table_name)
+
+        # Point fast path: single-column point probes replay straight off
+        # the (table, column) pointer — no stats lookup, no log2 bucketing.
+        # All points on a column share one slot even when their generic
+        # bucket would differ (in- vs out-of-domain values): the plan shape
+        # is identical either way and the executor's validation pass
+        # enforces correctness, so collapsing them trades nothing.
+        predicates = query.predicates
+        is_point = len(predicates) == 1 and predicates[0].is_point
+        if is_point:
+            point_key = self._point_keys.get(
+                (table_name, predicates[0].column))
+            if point_key is not None:
+                cached = self._cache.get(point_key)
+                if cached is not None and self._is_fresh(cached, entry):
+                    self._hits += 1
+                    self._replays += 1
+                    plan = cached.replay(
+                        query,
+                        {predicates[0].column: predicates[0].key_range},
+                    )
+                    plan.cache_stats = self.cache_info()
+                    return plan
+
         merged = query.merged()
         if merged is None:
             return Plan(table_name=table_name, query=query, unsatisfiable=True)
@@ -285,12 +353,7 @@ class Planner:
         # interleaved with ranges — must hit two cache slots, not evict one.
         cache_key = (table_name, tuple(merged), buckets)
         cached = self._cache.get(cache_key)
-        row_count = entry.table.num_rows
-        if (cached is not None
-                and cached.replays < _MAX_PLAN_REPLAYS
-                and cached.catalog_version == self.catalog.version
-                and cached.row_count <= 2 * row_count
-                and row_count <= 2 * cached.row_count):
+        if cached is not None and self._is_fresh(cached, entry):
             self._hits += 1
             self._replays += 1
             plan = cached.replay(query, merged)
@@ -301,8 +364,11 @@ class Planner:
         plan = self._plan_fresh(table_name, entry, query, merged, stats)
         self._cache[cache_key] = _CachedPlan(
             plan=plan, catalog_version=self.catalog.version,
-            row_count=row_count,
+            row_count=entry.table.num_rows,
+            data_epoch=entry.data_epoch,
         )
+        if is_point:
+            self._point_keys[(table_name, predicates[0].column)] = cache_key
         plan.cache_stats = self.cache_info()
         return plan
 

@@ -1,4 +1,4 @@
-"""Query predicates and results.
+"""Query predicates, requests and results.
 
 The query model covers what the evaluation and the planner need: single-column
 point and range predicates, and their conjunction over several columns (the
@@ -6,6 +6,14 @@ multi-column case of Section 3).  A :class:`ConjunctiveQuery` is what the
 planner consumes; :meth:`ConjunctiveQuery.merged` normalises it to at most one
 :class:`~repro.index.base.KeyRange` per column so duplicate predicates on the
 same column collapse (and contradictory ones mark the query unsatisfiable).
+
+On top of the predicates sit the engine's *transport* objects:
+:class:`QueryRequest` is the one client-facing request shape — point, range
+and conjunctive queries unified, each naming its table — consumed by
+``Database.execute`` / ``Database.execute_many`` and by the serving front end
+(``repro.serving``); :class:`QueryResult` is the matching result shape every
+``Database.query*`` wrapper and the server hand back.  New front ends are
+meant to be prototyped against these two objects without touching the engine.
 """
 
 from __future__ import annotations
@@ -117,28 +125,104 @@ def conjunction(*predicates: RangePredicate) -> ConjunctiveQuery:
     return ConjunctiveQuery(predicates)
 
 
+@dataclass(frozen=True)
+class QueryRequest:
+    """One client-facing read request: a table plus a conjunctive query.
+
+    The unified request object of the engine's API redesign: point probes,
+    range queries and multi-column conjunctions are all the same shape (a
+    point is a range with ``low == high``; a single predicate is a
+    conjunction of one).  ``Database.execute`` answers one,
+    ``Database.execute_many`` answers a batch — grouping by table and plan
+    shape internally — and the serving front end coalesces concurrently
+    arriving requests into exactly those batches.
+
+    Attributes:
+        table: Name of the table the request reads.
+        query: The conjunctive predicate set.
+    """
+
+    table: str
+    query: ConjunctiveQuery
+
+    @classmethod
+    def point(cls, table: str, column: str, value: float) -> "QueryRequest":
+        """``column == value`` on ``table``."""
+        return cls(table, ConjunctiveQuery([point_predicate(column, value)]))
+
+    @classmethod
+    def range(cls, table: str, column: str, low: float,
+              high: float) -> "QueryRequest":
+        """``low <= column <= high`` on ``table``."""
+        return cls(table, ConjunctiveQuery([RangePredicate(column, low, high)]))
+
+    @classmethod
+    def conjunctive(cls, table: str,
+                    predicates: Iterable[RangePredicate]) -> "QueryRequest":
+        """A conjunction of range predicates on ``table``."""
+        return cls(table, ConjunctiveQuery(predicates))
+
+    @classmethod
+    def of(cls, table: str,
+           query: "ConjunctiveQuery | Iterable[RangePredicate] | RangePredicate",
+           ) -> "QueryRequest":
+        """Coerce any accepted query shape into a request on ``table``."""
+        if isinstance(query, ConjunctiveQuery):
+            return cls(table, query)
+        if isinstance(query, RangePredicate):
+            return cls(table, ConjunctiveQuery([query]))
+        return cls(table, ConjunctiveQuery(query))
+
+    @property
+    def predicates(self) -> tuple[RangePredicate, ...]:
+        """The request's conjuncts."""
+        return self.query.predicates
+
+    @property
+    def is_point(self) -> bool:
+        """Whether the request is a single-column point probe."""
+        predicates = self.query.predicates
+        return len(predicates) == 1 and predicates[0].is_point
+
+
 @dataclass
 class QueryResult:
     """Result of executing one query through the engine.
 
+    The unified result shape shared by every ``Database.query*`` wrapper,
+    ``Database.execute`` / ``execute_many`` and the serving front end — a
+    transport-friendly object (plain-list locations) that still carries the
+    planner's explanation for callers that want it.
+
     Attributes:
         locations: Row locations of the matching tuples (sorted ascending).
         breakdown: Per-phase time breakdown accumulated by the mechanism that
-            served the query (empty for full scans).
+            served the query (empty for full scans).  Requests answered by
+            one coalesced batch share the batch's accumulated breakdown.
         used_index: Name of the index that served the query, or ``None`` when
             the engine fell back to a full table scan.
+        plan: The plan that produced the result (``None`` for pre-planner
+            helpers such as ``full_scan``).
+        group_size: Number of queries that shared this result's plan template
+            in one batched execution (1 for the per-query API).
+        epoch: Write epoch the read executed under (``None`` for pre-planner
+            helpers) — two results with the same epoch observed the same
+            committed database state.
     """
 
     locations: list[int] = field(default_factory=list)
     breakdown: LookupBreakdown = field(default_factory=LookupBreakdown)
     used_index: str | None = None
+    plan: object | None = None
+    group_size: int = 1
+    epoch: int | None = None
 
     def __len__(self) -> int:
         return len(self.locations)
 
     @classmethod
-    def from_planned(cls, planned) -> "QueryResult":
-        """Downgrade a planner result to the legacy list-based shape.
+    def from_planned(cls, planned, epoch: int | None = None) -> "QueryResult":
+        """Convert a planner result to the transport shape.
 
         Shared by ``Database.query`` and ``Database.query_many`` so the
         scalar and batched entry points cannot drift: the planner's sorted
@@ -147,4 +231,7 @@ class QueryResult:
         """
         return cls(locations=planned.locations.tolist(),
                    breakdown=planned.breakdown,
-                   used_index=planned.plan.used_index)
+                   used_index=planned.plan.used_index,
+                   plan=planned.plan,
+                   group_size=planned.group_size,
+                   epoch=planned.epoch if epoch is None else epoch)

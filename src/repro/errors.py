@@ -63,6 +63,16 @@ class WalCorruptionError(DurabilityError):
     """
 
 
+class ConcurrencyError(ReproError):
+    """The reader-writer epoch protocol rejected an operation (for example a
+    thread holding the read side asking for the write side, which would
+    deadlock against itself)."""
+
+
+class ServingError(ReproError):
+    """The serving front end rejected a request (server closed, ...)."""
+
+
 class CatalogError(ReproError):
     """The catalog rejected an operation (unknown table, duplicate index, ...)."""
 

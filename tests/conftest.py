@@ -19,6 +19,13 @@ def pytest_configure(config):
         "driven by the durability fault harness; CI runs them as a "
         "dedicated step (select with '-m fault_injection')",
     )
+    config.addinivalue_line(
+        "markers",
+        "serving: concurrency tests for the coalescing serving front end "
+        "(epoch protocol, writer-interleaving stress, server-vs-batch "
+        "equivalence); CI runs them as a dedicated step (select with "
+        "'-m serving')",
+    )
 
 from repro.engine.catalog import IndexMethod
 from repro.engine.database import Database

@@ -406,3 +406,109 @@ class TestAccessPathRebind:
                              "colD": KeyRange(0.0, 0.5)})
         assert clone.columns == ("colC", "colD")
         assert clone.produces_locations
+
+
+class TestPointFastPath:
+    """Single-column point probes replay off the (table, column) pointer."""
+
+    def build(self, rows: int = 3000, seed: int = 21):
+        dataset = generate_synthetic(rows, "linear", noise_fraction=0.02,
+                                     seed=seed)
+        database = Database()
+        table_name = load_synthetic(database, dataset)
+        database.create_index("idx_c", table_name, "colC",
+                              method=IndexMethod.BTREE)
+        return database, table_name
+
+    def test_point_probes_skip_stats_after_first_plan(self):
+        database, table_name = self.build()
+        stats_calls = 0
+        original = database.catalog.column_stats
+
+        def counting(*args, **kwargs):
+            nonlocal stats_calls
+            stats_calls += 1
+            return original(*args, **kwargs)
+
+        database.catalog.column_stats = counting
+        database.explain(table_name, RangePredicate("colC", 10.0, 10.0))
+        after_first = stats_calls
+        for value in (20.0, 30.0, -1e9, 40.0):  # out-of-domain too
+            database.explain(table_name,
+                             RangePredicate("colC", value, value))
+        # The fast path bypasses the stats lookup entirely.
+        assert stats_calls == after_first
+
+    def test_fast_path_binds_each_new_point(self):
+        database, table_name = self.build()
+        database.explain(table_name, RangePredicate("colC", 100.0, 100.0))
+        replayed = database.explain(table_name,
+                                    RangePredicate("colC", 250.0, 250.0))
+        assert replayed.paths[0].key_range == KeyRange(250.0, 250.0)
+
+    def test_fast_path_results_match_brute_force(self):
+        database, table_name = self.build()
+        values = database.table(table_name).project(["colC"])[1][:5]
+        for value in values:
+            predicate = RangePredicate("colC", float(value), float(value))
+            planned = database.query_conjunctive(table_name, predicate)
+            expected = brute_force(database, table_name, [predicate])
+            assert np.array_equal(planned.locations, expected)
+
+    def test_ddl_invalidates_point_pointer(self):
+        database, table_name = self.build()
+        predicate = RangePredicate("colC", 50.0, 50.0)
+        assert database.explain(table_name, predicate).used_index == "idx_c"
+        database.create_index("idx_c_sorted", table_name, "colC",
+                              method=IndexMethod.SORTED_COLUMN)
+        # The stale pointer must not replay the dropped-ranked plan.
+        assert database.explain(table_name, predicate).used_index \
+            == "idx_c_sorted"
+
+
+class TestEpochDriftInvalidation:
+    def test_cached_plan_repriced_after_epoch_drift(self):
+        """Enough committed write epochs force a replan, even when the
+        row-count window alone would keep the cached plan fresh."""
+        from repro.engine.planner import _MAX_EPOCH_DRIFT
+
+        dataset = generate_synthetic(3000, "linear", noise_fraction=0.02,
+                                     seed=22)
+        database = Database()
+        table_name = load_synthetic(database, dataset)
+        database.create_index("idx_c", table_name, "colC",
+                              method=IndexMethod.BTREE)
+        predicate = RangePredicate("colC", 0.0, 50_000.0)
+        database.explain(table_name, predicate)
+        before = database.planner.cache_info().misses
+
+        # Single-row inserts: negligible row-count change, one epoch each.
+        table = database.table(table_name)
+        start_pk = int(table.project(["colA"])[1].max()) + 1
+        for offset in range(_MAX_EPOCH_DRIFT + 1):
+            database.insert_many(table_name, {
+                "colA": np.array([float(start_pk + offset)]),
+                "colB": np.array([1.0]),
+                "colC": np.array([1.0]),
+                "colD": np.array([0.5]),
+            })
+
+        database.explain(table_name, predicate)
+        assert database.planner.cache_info().misses == before + 1
+
+    def test_fresh_within_drift_bound(self):
+        dataset = generate_synthetic(3000, "linear", noise_fraction=0.02,
+                                     seed=23)
+        database = Database()
+        table_name = load_synthetic(database, dataset)
+        database.create_index("idx_c", table_name, "colC",
+                              method=IndexMethod.BTREE)
+        predicate = RangePredicate("colC", 0.0, 50_000.0)
+        database.explain(table_name, predicate)
+        before = database.planner.cache_info().misses
+        database.insert_many(table_name, {
+            "colA": np.array([99_999_999.0]), "colB": np.array([1.0]),
+            "colC": np.array([1.0]), "colD": np.array([0.5]),
+        })
+        database.explain(table_name, predicate)
+        assert database.planner.cache_info().misses == before  # still cached

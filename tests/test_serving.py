@@ -1,0 +1,399 @@
+"""Concurrency tests for the serving front end (``pytest -m serving``).
+
+Three layers, bottom up:
+
+* **EpochManager** — the reader-writer protocol in isolation: shared
+  reads, exclusive writes, per-thread reentrancy, writer preference, the
+  read-to-write upgrade rejection, and one-epoch-per-outermost-write.
+* **No torn reads** — a writer thread mutates the database in all-or-
+  nothing batches while reader threads hammer coalesced and per-call
+  reads; every observed result must correspond to a batch boundary, never
+  a half-applied mutation.
+* **Server equivalence** — hypothesis drives random request batches
+  through a live :class:`~repro.serving.Server` and through
+  ``Database.query_many``; the two must agree result list by result list.
+  Plus unit coverage for the coalescing window adaptation,
+  :class:`RequestFuture` semantics, close/shutdown behaviour, and the
+  ``query_with`` deprecation shim.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.catalog import IndexMethod
+from repro.engine.database import Database
+from repro.engine.query import QueryRequest, QueryResult, RangePredicate
+from repro.errors import ConcurrencyError, ConfigurationError, ServingError
+from repro.engine.epochs import EpochManager
+from repro.serving import RequestFuture, Server, ServerConfig
+from repro.storage.schema import numeric_schema
+
+pytestmark = pytest.mark.serving
+
+SETTINGS = settings(max_examples=10, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def build_database(rows: int = 2_000, seed: int = 7) -> tuple[Database, str]:
+    """A (pk, host, target, payload) table with a sorted index on target."""
+    rng = np.random.default_rng(seed)
+    target = rng.uniform(0.0, 1_000.0, size=rows)
+    database = Database()
+    database.create_table(numeric_schema(
+        "t", ["pk", "host", "target", "payload"], primary_key="pk"))
+    database.insert_many("t", {
+        "pk": np.arange(rows, dtype=np.float64),
+        "host": 2.0 * target + 10.0,
+        "target": target,
+        "payload": rng.uniform(0.0, 1.0, size=rows),
+    })
+    database.create_index("idx_target", "t", "target",
+                          method=IndexMethod.SORTED_COLUMN)
+    return database, "t"
+
+
+class TestEpochManager:
+    def test_read_yields_current_epoch_and_write_bumps(self):
+        epochs = EpochManager()
+        with epochs.read() as epoch:
+            assert epoch == 0
+        with epochs.write() as epoch:
+            assert epoch == 1  # the epoch this write commits as
+        assert epochs.current == 1
+        with epochs.read() as epoch:
+            assert epoch == 1
+
+    def test_nested_write_bumps_once(self):
+        epochs = EpochManager()
+        with epochs.write():
+            with epochs.write():
+                pass
+            assert epochs.current == 0  # still inside the outermost write
+        assert epochs.current == 1
+
+    def test_read_inside_write_is_free(self):
+        epochs = EpochManager()
+        with epochs.write() as write_epoch:
+            with epochs.read() as read_epoch:
+                # The writer reads its own in-progress state.
+                assert read_epoch == write_epoch - 1
+
+    def test_upgrade_raises_concurrency_error(self):
+        epochs = EpochManager()
+        with epochs.read():
+            with pytest.raises(ConcurrencyError):
+                with epochs.write():
+                    pass
+        # The failed upgrade must not leave the manager wedged.
+        with epochs.write():
+            pass
+        assert epochs.current == 1
+
+    def test_write_excludes_reads(self):
+        epochs = EpochManager()
+        observed: list[int] = []
+        release = threading.Event()
+        in_write = threading.Event()
+
+        def writer():
+            with epochs.write():
+                in_write.set()
+                release.wait(timeout=5.0)
+
+        def reader():
+            with epochs.read() as epoch:
+                observed.append(epoch)
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        assert in_write.wait(timeout=5.0)
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        time.sleep(0.02)
+        assert observed == []  # reader is blocked behind the writer
+        release.set()
+        writer_thread.join(timeout=5.0)
+        reader_thread.join(timeout=5.0)
+        assert observed == [1]  # reader ran after the commit, sees epoch 1
+
+    def test_waiting_writer_blocks_new_readers(self):
+        epochs = EpochManager()
+        sequence: list[str] = []
+        reader_in = threading.Event()
+        release_reader = threading.Event()
+
+        def long_reader():
+            with epochs.read():
+                reader_in.set()
+                release_reader.wait(timeout=5.0)
+
+        def writer():
+            with epochs.write():
+                sequence.append("write")
+
+        def late_reader():
+            with epochs.read():
+                sequence.append("read")
+
+        first = threading.Thread(target=long_reader)
+        first.start()
+        assert reader_in.wait(timeout=5.0)
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        time.sleep(0.02)  # let the writer reach the wait queue
+        late = threading.Thread(target=late_reader)
+        late.start()
+        time.sleep(0.02)
+        release_reader.set()
+        for thread in (first, writer_thread, late):
+            thread.join(timeout=5.0)
+        # Writer preference: the queued writer beat the late reader.
+        assert sequence == ["write", "read"]
+
+
+class TestNoTornReads:
+    def test_writer_interleaving_never_tears_coalesced_reads(self):
+        """All-or-nothing batches stay all-or-nothing under concurrency.
+
+        The writer appends rows in batches of a fixed size with a marker
+        value on the indexed column; a torn read (table updated, index
+        not, or a batch half-visible) would surface as a marker count
+        that is not a multiple of the batch size.
+        """
+        database, table = build_database(rows=1_000)
+        batch = 50
+        marker = 5_000.0  # outside the initial target domain
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def writer():
+            pk = 1_000
+            for _ in range(20):
+                database.insert_many(table, {
+                    "pk": np.arange(pk, pk + batch, dtype=np.float64),
+                    "host": np.full(batch, marker * 2.0),
+                    "target": np.full(batch, marker),
+                    "payload": np.zeros(batch),
+                })
+                pk += batch
+                time.sleep(0.001)
+            stop.set()
+
+        request = QueryRequest.point(table, "target", marker)
+
+        def reader():
+            while not stop.is_set():
+                results = database.execute_many([request] * 4)
+                epochs = {result.epoch for result in results}
+                if len(epochs) != 1:
+                    failures.append(f"batch spanned epochs {epochs}")
+                counts = {len(result.locations) for result in results}
+                if len(counts) != 1:
+                    failures.append(f"batch disagreed on counts {counts}")
+                count = counts.pop()
+                if count % batch != 0:
+                    failures.append(f"torn read: {count} marker rows")
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        writer_thread = threading.Thread(target=writer)
+        for thread in readers:
+            thread.start()
+        writer_thread.start()
+        writer_thread.join(timeout=30.0)
+        for thread in readers:
+            thread.join(timeout=30.0)
+        assert not failures, failures[:5]
+        final = database.execute(request)
+        assert len(final.locations) == 20 * batch
+
+    def test_server_reads_stay_consistent_under_writes(self):
+        """Coalesced server reads under a concurrent writer never tear."""
+        database, table = build_database(rows=1_000)
+        batch = 40
+        marker = 5_000.0
+        request = QueryRequest.point(table, "target", marker)
+        with Server(database, ServerConfig()) as server:
+            futures = []
+            pk = 1_000
+            for _ in range(15):
+                futures.extend(server.submit(request) for _ in range(8))
+                database.insert_many(table, {
+                    "pk": np.arange(pk, pk + batch, dtype=np.float64),
+                    "host": np.full(batch, marker * 2.0),
+                    "target": np.full(batch, marker),
+                    "payload": np.zeros(batch),
+                })
+                pk += batch
+            counts = [len(future.result(timeout=30.0).locations)
+                      for future in futures]
+        assert all(count % batch == 0 for count in counts), counts
+        assert len(database.execute(request).locations) == 15 * batch
+
+
+class TestServerEquivalence:
+    DATABASE, TABLE = build_database()
+
+    @staticmethod
+    @st.composite
+    def request_batches(draw):
+        """Mixed point/range batches on the indexed column."""
+        count = draw(st.integers(min_value=1, max_value=12))
+        requests = []
+        for _ in range(count):
+            low = draw(st.floats(min_value=-50.0, max_value=1_050.0,
+                                 allow_nan=False))
+            if draw(st.booleans()):
+                requests.append(QueryRequest.point(
+                    TestServerEquivalence.TABLE, "target", low))
+            else:
+                width = draw(st.floats(min_value=0.0, max_value=200.0,
+                                       allow_nan=False))
+                requests.append(QueryRequest.range(
+                    TestServerEquivalence.TABLE, "target", low, low + width))
+        return requests
+
+    @SETTINGS
+    @given(requests=request_batches())
+    def test_server_matches_query_many(self, requests):
+        database = self.DATABASE
+        expected = database.execute_many(requests)
+        with Server(database, ServerConfig()) as server:
+            futures = [server.submit(request) for request in requests]
+            actual = [future.result(timeout=30.0) for future in futures]
+        for want, got in zip(expected, actual):
+            assert want.locations == got.locations
+            assert want.used_index == got.used_index
+
+    def test_server_query_convenience(self):
+        request = QueryRequest.range(self.TABLE, "target", 100.0, 120.0)
+        with Server(self.DATABASE) as server:
+            result = server.query(request, timeout=30.0)
+        assert result.locations == self.DATABASE.execute(request).locations
+
+    def test_batch_failure_propagates_to_futures(self):
+        with Server(self.DATABASE) as server:
+            future = server.submit(QueryRequest.point("no_such_table",
+                                                      "target", 1.0))
+            assert future.exception(timeout=30.0) is not None
+            with pytest.raises(Exception):
+                future.result(timeout=30.0)
+
+    def test_requests_coalesce_into_shared_plan_groups(self):
+        request = QueryRequest.point(self.TABLE, "target", 250.0)
+        # A long window so every submission lands in one flush.
+        config = ServerConfig(initial_window=0.05, min_window=0.05,
+                              max_window=0.05)
+        with Server(self.DATABASE, config) as server:
+            futures = [server.submit(request) for _ in range(16)]
+            results = [future.result(timeout=30.0) for future in futures]
+            stats = server.stats()
+        assert stats.batches == 1
+        assert stats.max_batch == 16
+        assert all(result.group_size == 16 for result in results)
+
+    def test_submit_after_close_raises(self):
+        server = Server(self.DATABASE)
+        server.close()
+        with pytest.raises(ServingError):
+            server.submit(QueryRequest.point(self.TABLE, "target", 1.0))
+        server.close()  # idempotent
+
+
+class TestWindowAdaptation:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(min_window=0.01, initial_window=0.001)
+        with pytest.raises(ConfigurationError):
+            ServerConfig(max_batch=0)
+        with pytest.raises(ConfigurationError):
+            ServerConfig(grow_factor=0.5)
+
+    def test_window_grows_under_load_and_shrinks_when_idle(self):
+        database, table = build_database(rows=500)
+        config = ServerConfig(initial_window=0.001, min_window=0.0005,
+                              max_window=0.008, target_batch=4)
+        request = QueryRequest.point(table, "target", 1.0)
+        with Server(database, config) as server:
+            # Saturating burst: flushes at or above target grow the window.
+            futures = [server.submit(request) for _ in range(64)]
+            for future in futures:
+                future.result(timeout=30.0)
+            grown = server.stats().window
+            assert grown > config.initial_window
+            # Idle trickle: single-request flushes shrink it back down.
+            for _ in range(12):
+                server.query(request, timeout=30.0)
+                time.sleep(0.02)
+            shrunk = server.stats().window
+        assert shrunk < grown
+        assert shrunk >= config.min_window
+
+    def test_window_respects_bounds(self):
+        database, table = build_database(rows=500)
+        config = ServerConfig(initial_window=0.0005, min_window=0.0004,
+                              max_window=0.001, target_batch=2)
+        request = QueryRequest.point(table, "target", 1.0)
+        with Server(database, config) as server:
+            for _ in range(8):
+                server.query(request, timeout=30.0)
+            assert server.stats().window <= config.max_window
+
+
+class TestRequestFuture:
+    def test_resolve_unblocks_waiter_and_runs_callbacks(self):
+        future = RequestFuture()
+        seen: list[QueryResult] = []
+        future.add_done_callback(lambda f: seen.append(f.result()))
+        result = QueryResult(locations=[1, 2, 3])
+
+        waiter_value = []
+
+        def waiter():
+            waiter_value.append(future.result(timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.01)
+        future._resolve(result, None)
+        thread.join(timeout=5.0)
+        assert waiter_value == [result]
+        assert seen == [result]
+        assert future.done()
+        assert future.exception() is None
+
+    def test_callback_after_done_runs_immediately(self):
+        future = RequestFuture()
+        future._resolve(QueryResult(locations=[]), None)
+        seen = []
+        future.add_done_callback(lambda f: seen.append(True))
+        assert seen == [True]
+
+    def test_timeout_raises(self):
+        future = RequestFuture()
+        with pytest.raises(Exception):
+            future.result(timeout=0.01)
+
+    def test_error_resolution(self):
+        future = RequestFuture()
+        error = ValueError("batch failed")
+        future._resolve(None, error)
+        assert future.exception() is error
+        with pytest.raises(ValueError):
+            future.result()
+
+
+class TestQueryWithDeprecation:
+    def test_query_with_warns_and_matches_execute(self):
+        database, table = build_database(rows=800)
+        predicate = RangePredicate("target", 100.0, 150.0)
+        expected = database.execute(QueryRequest.of(table, predicate))
+        with pytest.warns(DeprecationWarning, match="query_with"):
+            legacy = database.query_with(table, "idx_target", predicate)
+        assert legacy.locations == expected.locations
