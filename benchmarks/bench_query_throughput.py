@@ -4,12 +4,13 @@ Not a paper figure: this benchmark pins the batched read API's contract.
 ``Database.query_many`` / ``query_conjunctive_many`` must (a) return
 exactly the rows of the equivalent per-query ``Database.query`` /
 ``query_conjunctive`` loop, (b) never be slower than that loop on any
-(mechanism × pointer scheme × batch class) combination, and (c) reach at
+(mechanism × pointer scheme × batch class) combination, (c) reach at
 least **3x** the loop on range batches where the access path is
 array-native end to end (the sorted-column mechanism under physical
-pointers — B+-tree-backed paths spend most of their budget inside the
-per-entry Python leaf walks that batching cannot remove, and measure
-~2.5-2.8x; see docs/architecture.md "Batched execution").
+pointers), and (d) reach at least **4x** on the B+-tree-backed Hermit
+range path, where the vectorized TRS translation and the host B+-tree's
+flattened-leaf-level probe removed the per-entry Python leaf walks that
+used to cap it at ~2.5x (see docs/architecture.md "Batched execution").
 
 Run as pytest (small scale, correctness + sanity ratios)::
 
@@ -20,9 +21,12 @@ or standalone, emitting a JSON bundle for the perf trajectory::
     PYTHONPATH=src python benchmarks/bench_query_throughput.py \
         --rows 60000 --batch 192 --output query_throughput.json
 
-The bundle holds two records — ``query_throughput_range`` (the gated ≥ 3x
-demonstration) and ``query_throughput`` (everything else, gated ≥ 1.0) —
-both checked by ``benchmarks/check_regression.py``.
+The bundle holds three records — ``query_throughput_range`` (the gated
+≥ 3x array-native demonstration), ``query_throughput_btree_range`` (the
+gated ≥ 4x B+-tree-backed Hermit range path: vectorized TRS translation
+feeding the host index's flattened-leaf probe) and ``query_throughput``
+(everything else, gated ≥ 1.0) — all checked by
+``benchmarks/check_regression.py``.
 """
 
 from __future__ import annotations
@@ -44,12 +48,22 @@ SMALL_SCALE_ROWS = 8_000
 
 # The ≥ 3x acceptance gate: range batches on the fully array-native path.
 _RANGE_GATE = ("Sorted", "range", "physical")
+# The ≥ 4x acceptance gate: range batches on the B+-tree-backed Hermit
+# path under physical pointers — vectorized TRS translation feeding the
+# host index's flattened-leaf-level probe.
+_BTREE_RANGE_GATE = ("HERMIT", "range", "physical")
 
 
 def is_range_gated(measurement: QueryThroughputMeasurement) -> bool:
     """Whether a measurement belongs to the gated ≥ 3x range record."""
     return (measurement.mechanism, measurement.batch_class,
             measurement.pointer_scheme) == _RANGE_GATE
+
+
+def is_btree_range_gated(measurement: QueryThroughputMeasurement) -> bool:
+    """Whether a measurement belongs to the gated ≥ 4x btree range record."""
+    return (measurement.mechanism, measurement.batch_class,
+            measurement.pointer_scheme) == _BTREE_RANGE_GATE
 
 
 def format_measurements(measurements: list[QueryThroughputMeasurement]) -> str:
@@ -106,7 +120,9 @@ def main(argv=None) -> int:
     print(format_measurements(measurements))
 
     range_gated = [m for m in measurements if is_range_gated(m)]
-    rest = [m for m in measurements if not is_range_gated(m)]
+    btree_range_gated = [m for m in measurements if is_btree_range_gated(m)]
+    rest = [m for m in measurements
+            if not (is_range_gated(m) or is_btree_range_gated(m))]
     bundle = {
         "records": [
             {
@@ -115,6 +131,13 @@ def main(argv=None) -> int:
                 "selectivity": args.selectivity,
                 "batch": args.batch,
                 "measurements": [m.as_dict() for m in range_gated],
+            },
+            {
+                "benchmark": "query_throughput_btree_range",
+                "rows": args.rows,
+                "selectivity": args.selectivity,
+                "batch": args.batch,
+                "measurements": [m.as_dict() for m in btree_range_gated],
             },
             {
                 "benchmark": "query_throughput",

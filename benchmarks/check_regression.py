@@ -65,6 +65,22 @@ GATED_METRICS = {
     # walks that batching cannot remove).
     "query_throughput": {"batched_vs_loop": None},
     "query_throughput_range": {"batched_vs_loop": 3.0},
+    # B+-tree-backed range batches (Hermit translation + host-index probes
+    # under physical pointers): the vectorized TRS batch translation plus
+    # the flattened-leaf-level host probe raised this combination from
+    # ~2.6x to ~4.4x, and the floor pins the new level.
+    "query_throughput_btree_range": {"batched_vs_loop": 4.0},
+    # Sharded scatter/gather (bench_sharding.py).  The parallel record is
+    # only emitted on machines with enough cores to seat every shard (CI
+    # runners: 4 vCPUs) and gates the >= 2x acceptance criterion; the
+    # sanity record is emitted everywhere and gates correctness plus a
+    # transport-overhead floor.  On one core N time-sliced workers pay
+    # merge + pickling overhead with no parallelism to show for it and
+    # measure 0.35-0.55x with heavy scheduler noise, so the floor (0.25)
+    # only catches the transport becoming a multiple slower — the >= 2x
+    # criterion lives entirely in the parallel record.
+    "sharding_parallel": {"sharded_vs_single": 2.0},
+    "sharding_sanity": {"sharded_vs_single": 0.25},
     # Durability: insert throughput per fsync policy as a ratio of the
     # no-WAL path, plus recovery throughput vs. the live insert path.
     # All four policies measure within ~20% of each other at the CI chunk

@@ -1,0 +1,180 @@
+"""Sharded scatter/gather throughput: N shards raced against one shard.
+
+Builds the Synthetic-Linear workload twice behind the sharded facade —
+once with ``num_shards`` worker processes, once with a single worker — and
+races identical ``execute_many`` range batches through both.  Both
+contenders pay the same transport (pickled command batches over a pipe),
+so the ratio isolates what sharding actually buys: concurrent per-shard
+engine execution plus N-times-smaller per-shard indexes.
+
+The speedup is core-count-bound by construction — on a single-CPU machine
+the N worker processes time-slice one core and the ratio sits *below* 1
+(same total engine work plus N-way merge overhead).  The standalone
+benchmark therefore emits two records: a ``sharding_sanity`` record on
+every machine (results must agree, ratio must clear a
+transport-overhead floor) and the gated ≥ 2x ``sharding_parallel`` record
+only where ``os.cpu_count()`` can seat every shard.
+
+Correctness inside the race: per-query result counts are checked against
+a brute-force numpy scan of the generating dataset, on both contenders —
+a wrong merge (lost shard segment, duplicated outlier) shows up as
+``results_agree=False``, not as a fast wrong answer.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.catalog import IndexMethod
+from repro.engine.query import QueryRequest, RangePredicate
+from repro.sharding import ShardedDatabase, uniform_boundaries
+from repro.storage.identifiers import PointerScheme
+from repro.storage.schema import numeric_schema
+from repro.workloads.queries import range_queries
+from repro.workloads.synthetic import TABLE_NAME, generate_synthetic
+
+
+def build_sharded_synthetic(num_shards: int, num_tuples: int,
+                            mode: str = "process",
+                            pointer_scheme: PointerScheme =
+                            PointerScheme.PHYSICAL,
+                            seed: int = 42) -> ShardedDatabase:
+    """Synthetic-Linear behind a sharded facade, Hermit-indexed on colC.
+
+    Mirrors :func:`repro.workloads.synthetic.load_synthetic` (primary on
+    ``colA``, pre-existing B+-tree on ``colB``, Hermit on ``colC``) with
+    the rows partitioned uniformly on the ``colA`` key space.
+    """
+    dataset = generate_synthetic(num_tuples, "linear", noise_fraction=0.01,
+                                 seed=seed)
+    database = ShardedDatabase(num_shards=num_shards, mode=mode,
+                               pointer_scheme=pointer_scheme)
+    schema = numeric_schema(TABLE_NAME, ["colA", "colB", "colC", "colD"],
+                            primary_key="colA")
+    boundaries = (uniform_boundaries(0.0, float(num_tuples), num_shards)
+                  if num_shards > 1 else None)
+    database.create_table(schema, boundaries)
+    database.insert_many(TABLE_NAME, dict(dataset.columns))
+    database.create_index("idx_colB", TABLE_NAME, "colB",
+                          method=IndexMethod.BTREE, preexisting=True)
+    database.create_index("idx_colC", TABLE_NAME, "colC",
+                          method=IndexMethod.HERMIT, host_column="colB")
+    return database
+
+
+@dataclass
+class ShardingMeasurement:
+    """N-shard vs single-shard throughput on one range-batch workload."""
+
+    workload: str
+    mechanism: str
+    pointer_scheme: str
+    num_shards: int
+    cpu_count: int
+    num_tuples: int
+    num_queries: int
+    total_results: int
+    single_seconds: float
+    sharded_seconds: float
+    results_agree: bool
+
+    @property
+    def sharded_vs_single(self) -> float:
+        """N-shard speedup over the single-shard worker (the gated ratio)."""
+        if self.sharded_seconds <= 0:
+            return float("inf")
+        return self.single_seconds / self.sharded_seconds
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (gated by ``check_regression.py``)."""
+        return {
+            "workload": self.workload,
+            "mechanism": self.mechanism,
+            "pointer_scheme": self.pointer_scheme,
+            "num_shards": self.num_shards,
+            "cpu_count": self.cpu_count,
+            "num_tuples": self.num_tuples,
+            "num_queries": self.num_queries,
+            "total_results": self.total_results,
+            "single_seconds": self.single_seconds,
+            "sharded_seconds": self.sharded_seconds,
+            "sharded_vs_single": self.sharded_vs_single,
+            "results_agree": self.results_agree,
+        }
+
+
+def run_sharding_benchmark(num_shards: int = 4, num_tuples: int = 60_000,
+                           selectivity: float = 1e-3, batch_size: int = 192,
+                           rounds: int = 3, mode: str = "process",
+                           pointer_scheme: PointerScheme =
+                           PointerScheme.PHYSICAL,
+                           seed: int = 42) -> ShardingMeasurement:
+    """Race ``num_shards`` workers against one on identical range batches.
+
+    Rounds are interleaved (single, then sharded, per round) and each side
+    is scored by its best round.  Per-query counts are validated against a
+    brute-force scan of the generating dataset on both sides.
+    """
+    dataset = generate_synthetic(num_tuples, "linear", noise_fraction=0.01,
+                                 seed=seed)
+    targets = dataset.columns["colC"]
+    domain = (float(targets.min()), float(targets.max()))
+    requests = [
+        QueryRequest.of(TABLE_NAME,
+                        RangePredicate("colC", query.low, query.high))
+        for query in range_queries(domain, selectivity, count=batch_size,
+                                   seed=seed)
+    ]
+    expected_counts = [
+        int(np.count_nonzero((targets >= request.predicates[0].low)
+                             & (targets <= request.predicates[0].high)))
+        for request in requests
+    ]
+
+    single = build_sharded_synthetic(1, num_tuples, mode=mode,
+                                     pointer_scheme=pointer_scheme,
+                                     seed=seed)
+    sharded = build_sharded_synthetic(num_shards, num_tuples, mode=mode,
+                                      pointer_scheme=pointer_scheme,
+                                      seed=seed)
+    try:
+        single_seconds = float("inf")
+        sharded_seconds = float("inf")
+        single_results: list = []
+        sharded_results: list = []
+        for _ in range(rounds):
+            started = time.perf_counter()
+            single_results = single.execute_many(requests)
+            single_seconds = min(single_seconds,
+                                 time.perf_counter() - started)
+
+            started = time.perf_counter()
+            sharded_results = sharded.execute_many(requests)
+            sharded_seconds = min(sharded_seconds,
+                                  time.perf_counter() - started)
+        agree = all(
+            len(one.locations) == len(many.locations) == expected
+            for one, many, expected in zip(single_results, sharded_results,
+                                           expected_counts)
+        )
+        total_results = sum(len(r.locations) for r in sharded_results)
+    finally:
+        single.close()
+        sharded.close()
+    return ShardingMeasurement(
+        workload="synthetic",
+        mechanism="HERMIT:range",
+        pointer_scheme=pointer_scheme.value,
+        num_shards=num_shards,
+        cpu_count=os.cpu_count() or 1,
+        num_tuples=num_tuples,
+        num_queries=len(requests),
+        total_results=total_results,
+        single_seconds=single_seconds,
+        sharded_seconds=sharded_seconds,
+        results_agree=agree,
+    )

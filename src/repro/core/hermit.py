@@ -36,9 +36,11 @@ from repro.core.trs_tree import TRSTree
 from repro.errors import QueryError
 from repro.index.base import Index, KeyRange
 from repro.segments import (
-    concat_segments,
+    interleave_segments,
     offsets_from_counts,
+    segmented_sort,
     segmented_unique,
+    split_segments,
 )
 from repro.storage.identifiers import PointerScheme, TupleId
 from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
@@ -133,7 +135,8 @@ def probe_host_ranges_segmented(
 ) -> tuple[np.ndarray, np.ndarray]:
     """One segmented host-index pass over per-query host-range lists.
 
-    The shared middle of Hermit's and CM's ``candidate_tids_many``: flatten
+    The shared middle of CM's ``candidate_tids_many`` (Hermit now rides
+    ``TRSTree.lookup_many``'s pre-coalesced batch output instead): flatten
     the per-query range lists, probe them all with a single
     ``range_search_segmented`` call, and fold the per-range segments back
     into per-query ones.
@@ -379,13 +382,11 @@ class HermitIndex:
         ranges = coerce_ranges(predicates)
         breakdown = LookupBreakdown(lookups=len(ranges))
 
-        started = time.perf_counter()
-        trs_results = [self.trs_tree.lookup(predicate) for predicate in ranges]
-        breakdown.trs_seconds += time.perf_counter() - started
-
-        started = time.perf_counter()
-        candidates = [self._candidate_array(trs) for trs in trs_results]
-        breakdown.host_index_seconds += time.perf_counter() - started
+        values, offsets = self.candidate_tids_many(ranges, breakdown)
+        # The scalar path's per-query candidates are ``np.unique`` output;
+        # keep the batch identical (sorted ascending, already deduplicated).
+        values, offsets = segmented_sort(values, offsets)
+        candidates = split_segments(values, offsets)
 
         return finish_batch_lookup(
             self.table, self.target_column, ranges, candidates,
@@ -423,12 +424,14 @@ class HermitIndex:
                             ) -> tuple[np.ndarray, np.ndarray]:
         """Segmented batch variant of :meth:`candidate_tids`.
 
-        One TRS-Tree translation per query (tree descent is inherently
-        per-predicate), then *one* host-index pass over the flattened host
-        ranges of the whole batch (``range_search_segmented``), per-range
-        segments regrouped to per-query ones by summing run sizes —
-        the candidate tids of B queries in a constant number of array
-        passes.  Returns ``(values, offsets)``; see ``repro.segments``.
+        *One* TRS-Tree translation for the whole batch
+        (:meth:`~repro.core.trs_tree.TRSTree.lookup_many` — the descent is
+        vectorized across predicates, not run once per query), then *one*
+        host-index pass over the flattened host ranges of the whole batch
+        (``range_search_segmented``), per-range segments regrouped to
+        per-query ones by summing run sizes — the candidate tids of B
+        queries in a constant number of array passes.  Returns
+        ``(values, offsets)``; see ``repro.segments``.
 
         The TRS-Tree unions each query's host ranges into a disjoint cover
         (Algorithm 2) and a complete host index stores each row once, so
@@ -438,25 +441,22 @@ class HermitIndex:
         inside a probed range).
         """
         started = time.perf_counter()
-        trs_results = [self.trs_tree.lookup(key_range) for key_range in ranges]
+        batch = self.trs_tree.lookup_many(ranges)
         breakdown.trs_seconds += time.perf_counter() - started
 
         started = time.perf_counter()
-        values, offsets = probe_host_ranges_segmented(
-            self.host_index,
-            [trs_result.host_ranges for trs_result in trs_results],
-        )
-        outliers = [trs_result.outlier_tid_array()
-                    for trs_result in trs_results]
-        if any(array.size for array in outliers):
-            pieces: list[np.ndarray] = []
-            for position, outlier_tids in enumerate(outliers):
-                pieces.append(values[offsets[position]:offsets[position + 1]])
-                pieces.append(outlier_tids)
-            values, offsets = concat_segments(pieces)
-            # Fold the (host run, outlier) piece pairs back to one segment
-            # per query.
-            offsets = offsets[::2]
+        host_ranges = [
+            KeyRange(low, high)
+            for low, high in zip(batch.host_lows.tolist(),
+                                 batch.host_highs.tolist())
+        ]
+        values, offsets = self.host_index.range_search_segmented(host_ranges)
+        values, offsets = regroup_host_probes(values, offsets,
+                                              batch.ranges_per_query())
+        if batch.outlier_tids.size:
+            values, offsets = interleave_segments(
+                values, offsets, batch.outlier_tids, batch.outlier_offsets
+            )
             values, offsets = segmented_unique(values, offsets)
         breakdown.host_index_seconds += time.perf_counter() - started
         return values, offsets

@@ -194,7 +194,8 @@ class TRSLeafNode(TRSNode):
 class TRSInternalNode(TRSNode):
     """An internal node routing lookups to its equal-width children."""
 
-    __slots__ = ("children", "_bounds", "_interior_bounds_array")
+    __slots__ = ("children", "_bounds", "_interior_bounds_array",
+                 "_bounds_array")
 
     def __init__(self, key_range: KeyRange, height: int,
                  parent: "TRSInternalNode | None" = None) -> None:
@@ -202,6 +203,7 @@ class TRSInternalNode(TRSNode):
         self.children: list[TRSNode] = []
         self._bounds: list[float] | None = None
         self._interior_bounds_array: np.ndarray | None = None
+        self._bounds_array: np.ndarray | None = None
 
     def _routing_bounds(self) -> list[float]:
         """The node's :func:`partition_bounds`, computed once and cached.
@@ -213,6 +215,7 @@ class TRSInternalNode(TRSNode):
         if self._bounds is None:
             self._bounds = partition_bounds(self.key_range, len(self.children))
             self._interior_bounds_array = np.asarray(self._bounds[1:-1])
+            self._bounds_array = np.asarray(self._bounds)
         return self._bounds
 
     def child_for(self, target_value: float) -> TRSNode:
@@ -239,6 +242,33 @@ class TRSInternalNode(TRSNode):
             return np.zeros(len(values), dtype=np.int64)
         return np.searchsorted(self._interior_bounds_array, values,
                                side="right").astype(np.int64)
+
+    def overlap_spans(self, lows: np.ndarray, highs: np.ndarray,
+                      left_edge: bool, right_edge: bool,
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Overlapped child span ``[first[i], last[i]]`` per predicate range.
+
+        The batched form of the lookup descent's per-child overlap test: the
+        children partition the node's range into contiguous closed intervals
+        sharing the cached :func:`partition_bounds` floats, so the children a
+        predicate overlaps are a contiguous position span found with two
+        ``searchsorted`` passes — child ``c`` is overlapped iff
+        ``lows <= bounds[c + 1]`` and ``bounds[c] <= highs`` (comparisons
+        against the exact routing floats, boundary values included).  On the
+        tree's edges the first/last child is open-ended (the scalar lookup's
+        ``-inf``/``+inf`` effective ranges), which shows up here as clamping
+        an otherwise-empty span onto the edge child so out-of-domain
+        predicates still reach the edge leaves' outlier buffers.
+        """
+        self._routing_bounds()
+        bounds = self._bounds_array
+        first = np.searchsorted(bounds[1:], lows, side="left")
+        last = np.searchsorted(bounds[:-1], highs, side="right") - 1
+        if left_edge:
+            np.maximum(last, 0, out=last)
+        if right_edge:
+            np.minimum(first, len(self.children) - 1, out=first)
+        return first, last
 
     @property
     def is_leaf(self) -> bool:

@@ -21,6 +21,11 @@ from repro.index.base import KeyRange, tid_items
 from repro.storage.identifiers import TupleId
 from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
 
+# Scalar-path cost of one batched range probe in flat-view
+# entry-equivalents (two bisects plus per-call Python overhead); drives
+# the same amortisation accounting as the B+-tree's segmented probes.
+_PROBE_COST = 8
+
 
 class OutlierBuffer:
     """Hash table from target-column value to tuple identifiers.
@@ -38,6 +43,12 @@ class OutlierBuffer:
         self._entries: dict[float, list[TupleId]] = defaultdict(list)
         self._sorted_keys: list[float] = []
         self._count = 0
+        # Flat view for lookup_many, dropped on any write; the debt counter
+        # defers the O(k) flatten until batch traffic has paid for it
+        # (mirrors BPlusTree._use_flat_view — demoted leaves can hold a
+        # large fraction of the table here, so a cold flatten is not free).
+        self._flat_view: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._flat_debt = 0
 
     def add(self, target_value: float, tid: TupleId) -> None:
         """Record ``tid`` as an outlier with target value ``target_value``."""
@@ -45,6 +56,7 @@ class OutlierBuffer:
             bisect.insort(self._sorted_keys, target_value)
         self._entries[target_value].append(tid)
         self._count += 1
+        self._flat_view = None
 
     def add_many(self, target_values, tids) -> None:
         """Batched :meth:`add`: group by value, extend each bucket once.
@@ -77,6 +89,7 @@ class OutlierBuffer:
             # Both runs are sorted, so Timsort merges them in one pass.
             self._sorted_keys = sorted(self._sorted_keys + new_keys)
         self._count += count
+        self._flat_view = None
 
     def remove(self, target_value: float, tid: TupleId) -> bool:
         """Remove ``tid`` from the bucket of ``target_value``.
@@ -97,6 +110,7 @@ class OutlierBuffer:
                     and self._sorted_keys[position] == target_value):
                 self._sorted_keys.pop(position)
         self._count -= 1
+        self._flat_view = None
         return True
 
     def lookup(self, target_range: KeyRange) -> list[TupleId]:
@@ -114,6 +128,66 @@ class OutlierBuffer:
         return list(chain.from_iterable(
             entries[key] for key in self._sorted_keys[start:stop]
         ))
+
+    def _flattened(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sorted keys, per-key tid offsets and flat tids, cached until a write.
+
+        The flat view is what makes :meth:`lookup_many` a pure array pass:
+        tids are concatenated bucket-by-bucket in key order — exactly the
+        order :meth:`lookup` emits — so a batch of range probes reduces to
+        two ``searchsorted`` calls and one gather.  Rebuilt lazily after any
+        mutation; lookups between writes (the common read-heavy pattern)
+        share one rebuild.
+        """
+        if self._flat_view is None:
+            keys = np.asarray(self._sorted_keys, dtype=np.float64)
+            counts = np.fromiter(
+                (len(self._entries[key]) for key in self._sorted_keys),
+                dtype=np.int64, count=len(self._sorted_keys),
+            )
+            offsets = np.zeros(counts.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            flat = list(chain.from_iterable(
+                self._entries[key] for key in self._sorted_keys
+            ))
+            tids = np.asarray(flat) if flat else np.empty(0, dtype=np.int64)
+            self._flat_view = (keys, offsets, tids)
+        return self._flat_view
+
+    def lookup_many(self, lows: np.ndarray, highs: np.ndarray,
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`lookup`: one segmented result for many ranges.
+
+        Returns ``(tids, offsets)`` in the ``repro.segments`` layout — query
+        ``i`` owns ``tids[offsets[i]:offsets[i + 1]]``, in the same key-major
+        bucket order as the scalar path.  Small batches on a cold buffer
+        fall back to per-range :meth:`lookup` walks and accumulate debt
+        until the flatten pays for itself (see ``_flat_view``).
+        """
+        from repro.segments import run_indices
+
+        count = int(np.asarray(lows).size)
+        if (self._flat_view is None
+                and self._flat_debt + _PROBE_COST * count < self._count):
+            segments: list[list[TupleId]] = []
+            offsets = np.zeros(count + 1, dtype=np.int64)
+            total = 0
+            for position, (low, high) in enumerate(
+                    zip(np.asarray(lows).tolist(), np.asarray(highs).tolist())):
+                flat = self.lookup(KeyRange(low, high))
+                segments.append(flat)
+                total += len(flat)
+                offsets[position + 1] = total
+            self._flat_debt += 2 * total + _PROBE_COST * count
+            merged = list(chain.from_iterable(segments))
+            tids = (np.asarray(merged) if merged
+                    else np.empty(0, dtype=np.int64))
+            return tids, offsets
+        keys, key_offsets, tids = self._flattened()
+        starts = np.searchsorted(keys, lows, side="left")
+        stops = np.searchsorted(keys, highs, side="right")
+        indices, offsets = run_indices(key_offsets[starts], key_offsets[stops])
+        return tids[indices], offsets
 
     def lookup_point(self, target_value: float) -> list[TupleId]:
         """Tuple identifiers stored exactly under ``target_value``."""
@@ -136,6 +210,7 @@ class OutlierBuffer:
         self._entries.clear()
         self._sorted_keys.clear()
         self._count = 0
+        self._flat_view = None
 
     def memory_bytes(self) -> int:
         """Analytic size in bytes."""

@@ -61,6 +61,11 @@ class LeafModel(Protocol):
         """Host-column range covering all predictions over ``target_range``."""
         ...
 
+    def host_range_many(self, lows: np.ndarray,
+                        highs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`host_range` over aligned endpoint arrays."""
+        ...
+
 
 @dataclass(frozen=True)
 class LinearModel:
@@ -93,6 +98,19 @@ class LinearModel:
         if lo > hi:
             lo, hi = hi, lo
         return band_range(lo, hi, self.epsilon)
+
+    def host_range_many(self, lows: np.ndarray,
+                        highs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`host_range`: one fused pass over a query batch.
+
+        Same float expressions as the scalar path (``beta * m + alpha``,
+        then :func:`band_range_many`), so the batched translation emits
+        bitwise-identical host ranges.
+        """
+        at_low = self.beta * lows + self.alpha
+        at_high = self.beta * highs + self.alpha
+        return band_range_many(np.minimum(at_low, at_high),
+                               np.maximum(at_low, at_high), self.epsilon)
 
 
 @dataclass(frozen=True)
@@ -142,6 +160,14 @@ class LogLinearModel:
         if lo > hi:
             lo, hi = hi, lo
         return band_range(lo, hi, self.epsilon)
+
+    def host_range_many(self, lows: np.ndarray,
+                        highs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`host_range` (monotone: extremes at the endpoints)."""
+        at_low = self.beta * log_feature(lows, self.shift) + self.alpha
+        at_high = self.beta * log_feature(highs, self.shift) + self.alpha
+        return band_range_many(np.minimum(at_low, at_high),
+                               np.maximum(at_low, at_high), self.epsilon)
 
 
 @dataclass(frozen=True)
@@ -220,6 +246,39 @@ class PiecewiseLinearModel:
                 hi = max(hi, predicted)
         return band_range(lo, hi, self.epsilon)
 
+    def host_range_many(self, lows: np.ndarray,
+                        highs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`host_range` over aligned endpoint arrays.
+
+        The scalar walk evaluates each overlapped segment at its clipped
+        endpoints; those evaluation points are (a) the query endpoints under
+        their own segments and (b) both sides of every interior boundary the
+        query spans.  The boundary predictions are query-independent, so the
+        batch path precomputes them once and folds each one in with a masked
+        min/max — the per-query loop over segments disappears and only the
+        (at most ``num_segments - 1``) boundary passes remain.
+        """
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        first = self._segments_many(lows)
+        last = self._segments_many(highs)
+        betas = np.asarray(self.betas)
+        alphas = np.asarray(self.alphas)
+        at_low = betas[first] * lows + alphas[first]
+        at_high = betas[last] * highs + alphas[last]
+        lo = np.minimum(at_low, at_high)
+        hi = np.maximum(at_low, at_high)
+        for boundary in range(1, self.num_segments):
+            spanned = (first < boundary) & (boundary <= last)
+            if not spanned.any():
+                continue
+            value = self.bounds[boundary]
+            left = self.betas[boundary - 1] * value + self.alphas[boundary - 1]
+            right = self.betas[boundary] * value + self.alphas[boundary]
+            lo = np.where(spanned, np.minimum(lo, min(left, right)), lo)
+            hi = np.where(spanned, np.maximum(hi, max(left, right)), hi)
+        return band_range_many(lo, hi, self.epsilon)
+
 
 @dataclass(frozen=True)
 class OutlierOnlyModel:
@@ -251,6 +310,12 @@ class OutlierOnlyModel:
         """Empty-band host range; never emitted (the leaf covers no tuple)."""
         return KeyRange(0.0, 0.0)
 
+    def host_range_many(self, lows: np.ndarray,
+                        highs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`host_range`; never emitted (covers no tuple)."""
+        zeros = np.zeros(len(lows), dtype=np.float64)
+        return zeros, zeros.copy()
+
 
 def log_feature(m: np.ndarray, shift: float) -> np.ndarray:
     """The log-linear feature ``log(1 + max(m - shift, 0))``, vectorised."""
@@ -274,6 +339,16 @@ def band_range(lo: float, hi: float, epsilon: float) -> KeyRange:
     scale = max(abs(lo), abs(hi), epsilon)
     pad = 4.0 * np.finfo(np.float64).eps * scale
     return KeyRange(lo - epsilon - pad, hi + epsilon + pad)
+
+
+def band_range_many(lo: np.ndarray, hi: np.ndarray,
+                    epsilon: float) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`band_range` — identical float expressions per element,
+    so the batched translation path emits bitwise-identical host bounds.
+    """
+    scale = np.maximum(np.maximum(np.abs(lo), np.abs(hi)), epsilon)
+    pad = 4.0 * np.finfo(np.float64).eps * scale
+    return lo - epsilon - pad, hi + epsilon + pad
 
 
 def fit_linear(m: np.ndarray, n: np.ndarray) -> tuple[float, float]:

@@ -39,6 +39,12 @@ from repro.core.regression import (
 )
 from repro.errors import StorageError
 from repro.index.base import KeyRange
+from repro.segments import (
+    empty_offsets,
+    offsets_from_counts,
+    running_segment_max,
+    segment_ids,
+)
 from repro.storage.identifiers import TupleId
 from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
 
@@ -78,6 +84,114 @@ class TRSLookupResult:
         if not self.outlier_tids:
             return np.empty(0, dtype=np.int64)
         return np.asarray(self.outlier_tids)
+
+
+@dataclass
+class TRSBatchLookupResult:
+    """Output of a batched TRS-Tree lookup (:meth:`TRSTree.lookup_many`).
+
+    Everything is kept in the flat segmented layout of ``repro.segments`` —
+    query ``i`` owns ``host_lows[host_offsets[i]:host_offsets[i + 1]]`` (and
+    likewise for the outlier tids) — so the batch consumer (Hermit's
+    ``candidate_tids_many``) can flow the whole batch into one segmented
+    host-index probe without materialising per-query Python objects.
+
+    Per query, the emitted ranges are the scalar :meth:`TRSTree.lookup`'s
+    ``KeyRange.union`` output with one extra (candidate-exact) merge: ranges
+    whose gap contains **no representable float** are coalesced into one
+    probe, so adjacent leaves whose bands touch up to rounding cost one
+    host-index probe instead of two.  Outlier tid order *within* a query is
+    unspecified (leaf-visit order differs from the scalar walk); callers
+    dedup or sort, exactly as they do with the scalar result.
+
+    Attributes:
+        host_lows: Flat lower bounds of every emitted host range.
+        host_highs: Flat upper bounds, aligned with ``host_lows``.
+        host_offsets: Per-query segment boundaries over the range arrays.
+        outlier_tids: Flat outlier tuple identifiers.
+        outlier_offsets: Per-query segment boundaries over ``outlier_tids``.
+        leaves_visited: Per-query count of leaf nodes inspected.
+        nodes_visited: Per-query count of all nodes inspected.
+    """
+
+    host_lows: np.ndarray
+    host_highs: np.ndarray
+    host_offsets: np.ndarray
+    outlier_tids: np.ndarray
+    outlier_offsets: np.ndarray
+    leaves_visited: np.ndarray
+    nodes_visited: np.ndarray
+
+    @property
+    def num_queries(self) -> int:
+        """Number of predicate ranges the batch answered."""
+        return self.host_offsets.size - 1
+
+    def ranges_per_query(self) -> np.ndarray:
+        """Number of host ranges emitted for each query."""
+        return np.diff(self.host_offsets)
+
+    def host_ranges_for(self, position: int) -> list[KeyRange]:
+        """Query ``position``'s host ranges as ``KeyRange`` objects."""
+        start, stop = self.host_offsets[position], self.host_offsets[position + 1]
+        return [KeyRange(float(low), float(high))
+                for low, high in zip(self.host_lows[start:stop],
+                                     self.host_highs[start:stop])]
+
+    def outliers_for(self, position: int) -> np.ndarray:
+        """Query ``position``'s outlier tids (a view into the flat array)."""
+        start = self.outlier_offsets[position]
+        stop = self.outlier_offsets[position + 1]
+        return self.outlier_tids[start:stop]
+
+    def to_results(self) -> list[TRSLookupResult]:
+        """Materialise per-query :class:`TRSLookupResult` objects.
+
+        Compatibility/diagnostic form (the equivalence tests and ad-hoc
+        callers); the hot batch path consumes the flat arrays directly.
+        """
+        return [
+            TRSLookupResult(
+                host_ranges=self.host_ranges_for(position),
+                outlier_tids=self.outliers_for(position).tolist(),
+                leaves_visited=int(self.leaves_visited[position]),
+                nodes_visited=int(self.nodes_visited[position]),
+            )
+            for position in range(self.num_queries)
+        ]
+
+
+def coalesce_sorted_ranges(lows: np.ndarray, highs: np.ndarray,
+                           ids: np.ndarray, num_segments: int,
+                           ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge overlapping/contiguous ranges per segment, fully vectorized.
+
+    Inputs must be sorted by ``(ids, lows)``.  Two ranges of one segment are
+    merged when they overlap, touch, or are separated by a gap containing no
+    representable float (``next.low <= nextafter(running_max_high)``) — the
+    last case is the "adjacent leaves" coalesce: it cannot admit a single
+    extra host value, so the merged probe set is candidate-exact while
+    adjacent model bands cost one host-index probe instead of one each.
+
+    Returns:
+        ``(merged_lows, merged_highs, offsets)`` — merged ranges per segment
+        in the segmented layout.
+    """
+    if lows.size == 0:
+        return lows, highs, empty_offsets(num_segments)
+    running_max = running_segment_max(highs, ids)
+    previous_max = np.empty_like(running_max)
+    previous_max[0] = -np.inf
+    previous_max[1:] = running_max[:-1]
+    starts = np.empty(lows.size, dtype=bool)
+    starts[0] = True
+    starts[1:] = ids[1:] != ids[:-1]
+    starts |= lows > np.nextafter(previous_max, np.inf)
+    start_positions = np.flatnonzero(starts)
+    end_positions = np.append(start_positions[1:] - 1, lows.size - 1)
+    counts = np.bincount(ids[start_positions], minlength=num_segments)
+    return (lows[start_positions], running_max[end_positions],
+            offsets_from_counts(counts))
 
 
 @dataclass
@@ -319,6 +433,124 @@ class TRSTree:
     def lookup_point(self, target_value: float) -> TRSLookupResult:
         """Point-query variant of :meth:`lookup`."""
         return self.lookup(KeyRange(target_value, target_value))
+
+    def lookup_many(self, predicates: Sequence[KeyRange]) -> TRSBatchLookupResult:
+        """Batched :meth:`lookup`: translate B predicates in array passes.
+
+        The scalar lookup walks the tree once per predicate — a Python BFS
+        with per-node ``KeyRange`` allocations that PR 5 measured as the
+        bound on every B+-tree-backed batch ratio.  This path instead routes
+        the *whole batch* down the tree at once: at every internal node two
+        ``searchsorted`` passes over the cached ``partition_bounds`` floats
+        find each predicate's overlapped child span
+        (:meth:`~repro.core.node.TRSInternalNode.overlap_spans`), and each
+        reached leaf then serves its whole predicate run with one vectorized
+        model evaluation (``host_range_many``) and one batched outlier-buffer
+        probe (``lookup_many``).  Per-query results come back as flat
+        segmented arrays, with host ranges sort-and-coalesced per query (the
+        scalar path's ``KeyRange.union`` plus the candidate-exact
+        adjacent-range merge — see :func:`coalesce_sorted_ranges`).
+
+        Visits the same nodes and leaves as B scalar lookups and emits the
+        same host-range cover and outlier tids (order within a query aside);
+        ``tests/test_trs_lookup_many.py`` pins the equivalence.
+        """
+        num_queries = len(predicates)
+        nodes_visited = np.zeros(num_queries, dtype=np.int64)
+        leaves_visited = np.zeros(num_queries, dtype=np.int64)
+        empty = TRSBatchLookupResult(
+            host_lows=np.empty(0, dtype=np.float64),
+            host_highs=np.empty(0, dtype=np.float64),
+            host_offsets=empty_offsets(num_queries),
+            outlier_tids=np.empty(0, dtype=np.int64),
+            outlier_offsets=empty_offsets(num_queries),
+            leaves_visited=leaves_visited,
+            nodes_visited=nodes_visited,
+        )
+        if self._root is None or num_queries == 0:
+            return empty
+        lows = np.fromiter((predicate.low for predicate in predicates),
+                           dtype=np.float64, count=num_queries)
+        highs = np.fromiter((predicate.high for predicate in predicates),
+                            dtype=np.float64, count=num_queries)
+
+        # Descend the whole batch: (leaf, left_edge, right_edge, query ids).
+        leaf_visits: list[tuple[TRSLeafNode, bool, bool, np.ndarray]] = []
+        all_queries = np.arange(num_queries, dtype=np.int64)
+        stack: list[tuple[TRSNode, bool, bool, np.ndarray]] = [
+            (self._root, True, True, all_queries)
+        ]
+        while stack:
+            node, left_edge, right_edge, queries = stack.pop()
+            nodes_visited[queries] += 1
+            if node.is_leaf:
+                leaves_visited[queries] += 1
+                leaf_visits.append((node, left_edge, right_edge, queries))  # type: ignore[arg-type]
+                continue
+            internal: TRSInternalNode = node  # type: ignore[assignment]
+            first, last = internal.overlap_spans(
+                lows[queries], highs[queries], left_edge, right_edge
+            )
+            final = len(internal.children) - 1
+            for position, child in enumerate(internal.children):
+                mask = (first <= position) & (position <= last)
+                if mask.any():
+                    stack.append((
+                        child, left_edge and position == 0,
+                        right_edge and position == final, queries[mask],
+                    ))
+
+        # Serve every reached leaf with one model pass + one buffer probe.
+        range_owners: list[np.ndarray] = []
+        range_lows: list[np.ndarray] = []
+        range_highs: list[np.ndarray] = []
+        outlier_owners: list[np.ndarray] = []
+        outlier_parts: list[np.ndarray] = []
+        for leaf, left_edge, right_edge, queries in leaf_visits:
+            effective_low = -np.inf if left_edge else leaf.key_range.low
+            effective_high = np.inf if right_edge else leaf.key_range.high
+            overlap_lows = np.maximum(lows[queries], effective_low)
+            overlap_highs = np.minimum(highs[queries], effective_high)
+            if leaf.num_model_covered > 0:
+                emitted_lows, emitted_highs = leaf.model.host_range_many(
+                    overlap_lows, overlap_highs
+                )
+                range_owners.append(queries)
+                range_lows.append(emitted_lows)
+                range_highs.append(emitted_highs)
+            if len(leaf.outliers):
+                tids, offsets = leaf.outliers.lookup_many(overlap_lows,
+                                                          overlap_highs)
+                if tids.size:
+                    outlier_owners.append(queries[segment_ids(offsets)])
+                    outlier_parts.append(tids)
+
+        host_lows, host_highs = empty.host_lows, empty.host_highs
+        host_offsets = empty.host_offsets
+        if range_owners:
+            owners = np.concatenate(range_owners)
+            flat_lows = np.concatenate(range_lows)
+            flat_highs = np.concatenate(range_highs)
+            order = np.lexsort((flat_lows, owners))
+            host_lows, host_highs, host_offsets = coalesce_sorted_ranges(
+                flat_lows[order], flat_highs[order], owners[order], num_queries
+            )
+
+        outlier_tids, outlier_offsets = empty.outlier_tids, empty.outlier_offsets
+        if outlier_owners:
+            owners = np.concatenate(outlier_owners)
+            flat_tids = np.concatenate(outlier_parts)
+            order = np.argsort(owners, kind="stable")
+            outlier_tids = flat_tids[order]
+            outlier_offsets = offsets_from_counts(
+                np.bincount(owners[order], minlength=num_queries)
+            )
+        return TRSBatchLookupResult(
+            host_lows=host_lows, host_highs=host_highs,
+            host_offsets=host_offsets, outlier_tids=outlier_tids,
+            outlier_offsets=outlier_offsets, leaves_visited=leaves_visited,
+            nodes_visited=nodes_visited,
+        )
 
     # ------------------------------------------------------------ maintenance
 

@@ -66,7 +66,12 @@ from repro.engine.executor import (
 from repro.durability.config import DurabilityConfig, DurabilityStats
 from repro.durability.manager import DurabilityManager
 from repro.engine.epochs import EpochManager
-from repro.engine.planner import Plan, PlannedQueryResult, Planner
+from repro.engine.planner import (
+    Plan,
+    PlannedQueryResult,
+    Planner,
+    PlannerCacheStats,
+)
 from repro.engine.query import (
     ConjunctiveQuery,
     QueryRequest,
@@ -677,6 +682,18 @@ class Database:
     ) -> Plan:
         """Plan a query without executing it (the ``EXPLAIN`` entry point)."""
         return self.planner.plan(table_name, self._as_conjunctive(query))
+
+    def planner_cache_info(self) -> "dict[str, PlannerCacheStats]":
+        """Per-table plan-cache counters (see :meth:`Planner.table_cache_info`)."""
+        return self.planner.table_cache_info()
+
+    def planner_cache_stats(self) -> PlannerCacheStats:
+        """Cumulative plan-cache counters (see :meth:`Planner.cache_info`)."""
+        return self.planner.cache_info()
+
+    def planner_cache_clear(self) -> None:
+        """Drop all cached plan templates (see :meth:`Planner.cache_clear`)."""
+        self.planner.cache_clear()
 
     @staticmethod
     def _as_conjunctive(

@@ -291,11 +291,47 @@ class Planner:
         self._hits = 0
         self._misses = 0
         self._replays = 0
+        # Per-table splits of the counters above (same definitions), so a
+        # multi-table workload can see which table's plans amortise.
+        self._table_hits: dict[str, int] = {}
+        self._table_misses: dict[str, int] = {}
+        self._table_replays: dict[str, int] = {}
 
     def cache_info(self) -> PlannerCacheStats:
         """Snapshot of the cumulative plan-cache counters."""
         return PlannerCacheStats(hits=self._hits, misses=self._misses,
                                  replays=self._replays)
+
+    def table_cache_info(self) -> dict[str, PlannerCacheStats]:
+        """Per-table snapshot of the plan-cache counters.
+
+        Tables appear once they have been planned for; the values sum to
+        :meth:`cache_info` across tables.
+        """
+        tables = sorted(set(self._table_hits) | set(self._table_misses)
+                        | set(self._table_replays))
+        return {
+            table: PlannerCacheStats(
+                hits=self._table_hits.get(table, 0),
+                misses=self._table_misses.get(table, 0),
+                replays=self._table_replays.get(table, 0),
+            )
+            for table in tables
+        }
+
+    def cache_clear(self) -> None:
+        """Drop every cached plan template and reset all counters.
+
+        The next query on any table replans from scratch — the hook for
+        tests and operators that changed something the freshness checks
+        cannot see (e.g. swapping a cost model in place).
+        """
+        self._cache.clear()
+        self._point_keys.clear()
+        self._hits = self._misses = self._replays = 0
+        self._table_hits.clear()
+        self._table_misses.clear()
+        self._table_replays.clear()
 
     def _is_fresh(self, cached: _CachedPlan, entry: TableEntry) -> bool:
         """Whether a cached plan may still be replayed against ``entry``.
@@ -331,6 +367,10 @@ class Planner:
                 if cached is not None and self._is_fresh(cached, entry):
                     self._hits += 1
                     self._replays += 1
+                    self._table_hits[table_name] = (
+                        self._table_hits.get(table_name, 0) + 1)
+                    self._table_replays[table_name] = (
+                        self._table_replays.get(table_name, 0) + 1)
                     plan = cached.replay(
                         query,
                         {predicates[0].column: predicates[0].key_range},
@@ -356,11 +396,17 @@ class Planner:
         if cached is not None and self._is_fresh(cached, entry):
             self._hits += 1
             self._replays += 1
+            self._table_hits[table_name] = (
+                self._table_hits.get(table_name, 0) + 1)
+            self._table_replays[table_name] = (
+                self._table_replays.get(table_name, 0) + 1)
             plan = cached.replay(query, merged)
             plan.cache_stats = self.cache_info()
             return plan
 
         self._misses += 1
+        self._table_misses[table_name] = (
+            self._table_misses.get(table_name, 0) + 1)
         plan = self._plan_fresh(table_name, entry, query, merged, stats)
         self._cache[cache_key] = _CachedPlan(
             plan=plan, catalog_version=self.catalog.version,
@@ -409,6 +455,8 @@ class Planner:
                 # Unsatisfiable queries never had a plan template to reuse,
                 # so they do not count as amortised planning work.
                 self._replays += 1
+                self._table_replays[table_name] = (
+                    self._table_replays.get(table_name, 0) + 1)
                 cached = self._cache.get((table_name,) + key)
                 if cached is not None:
                     cached.replays += 1

@@ -23,11 +23,20 @@ import numpy as np
 
 from repro.errors import KeyNotFoundError, StorageError
 from repro.index.base import Index, KeyRange, tid_items
-from repro.segments import empty_offsets, offsets_from_counts, segment_ids
+from repro.segments import empty_offsets, run_indices
 from repro.storage.identifiers import TupleId
 from repro.storage.memory import DEFAULT_SIZE_MODEL, SizeModel
 
 DEFAULT_NODE_CAPACITY = 32
+
+# Amortisation accounting for ``_use_flat_view``, in flat-view
+# entry-equivalents: the per-probe constants price a root-to-leaf descent
+# plus per-call Python overhead, and every entry a scalar probe touches is
+# charged ``_TOUCHED_ENTRY_COST`` because the fragmented per-range
+# chain/asarray passes cost roughly twice the one bulk pass of a flatten.
+_RANGE_PROBE_COST = 32
+_POINT_PROBE_COST = 8
+_TOUCHED_ENTRY_COST = 2
 
 
 class _Node:
@@ -82,6 +91,13 @@ class BPlusTree(Index):
         self._root: _Node = _LeafNode()
         self._num_entries = 0
         self._height = 1
+        # Lazily built flattened view of the leaf level for the segmented
+        # batch probes; any write drops it (see _flattened).  The debt
+        # counter accumulates the scalar-path work of batches that skipped
+        # the O(n) flatten, so the view is only built once batch traffic
+        # would have paid for it (see _use_flat_view).
+        self._flat_view: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._flat_debt = 0
 
     # ------------------------------------------------------------------ write
 
@@ -97,6 +113,7 @@ class BPlusTree(Index):
             self._root = new_root
             self._height += 1
         self._num_entries += 1
+        self._flat_view = None
 
     def delete(self, key: float, tid: TupleId) -> None:
         """Remove one occurrence of ``key -> tid``.
@@ -120,6 +137,7 @@ class BPlusTree(Index):
                 leaf.keys.pop(index)
                 leaf.values.pop(index)
             self._num_entries -= 1
+            self._flat_view = None
             return
         raise KeyNotFoundError(f"key {key!r} is not in the index")
 
@@ -161,6 +179,7 @@ class BPlusTree(Index):
             splits = (self._multi_split_internal(new_root)
                       if len(new_root.keys) > self.node_capacity else None)
         self._num_entries += int(keys.size)
+        self._flat_view = None
 
     def bulk_load(self, pairs: Iterable[tuple[float, TupleId]]) -> None:
         """Build the tree from (key, tid) pairs.
@@ -217,6 +236,7 @@ class BPlusTree(Index):
             level = parents
             self._height += 1
         self._root = level[0]
+        self._flat_view = None
 
     # ------------------------------------------------------------------- read
 
@@ -256,17 +276,7 @@ class BPlusTree(Index):
         is the hot path of the vectorized Hermit lookup.
         """
         self.stats.range_lookups += 1
-        runs: list[list[TupleId]] = []
-        leaf: _LeafNode | None = self._find_leaf(key_range.low)
-        start = bisect.bisect_left(leaf.keys, key_range.low)
-        while leaf is not None:
-            stop = bisect.bisect_right(leaf.keys, key_range.high, start)
-            runs.extend(leaf.values[start:stop])
-            if stop < len(leaf.keys):
-                break
-            leaf = leaf.next_leaf
-            start = 0
-        flat = list(chain.from_iterable(runs))
+        flat = self._range_tids(key_range.low, key_range.high)
         if not flat:
             return np.empty(0, dtype=np.int64)
         return np.asarray(flat)
@@ -295,90 +305,96 @@ class BPlusTree(Index):
     def range_search_segmented(
         self, ranges: "Sequence[KeyRange]",
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Segmented multi-range probe: one leaf-walk loop, one conversion.
+        """Segmented multi-range probe, flat-view-backed once it pays off.
 
-        The walks themselves stay per range (a B+-tree probe is a descent),
-        but the whole batch shares one flat run list and a single
-        ``np.asarray`` conversion instead of one per range — the batched
-        executor's host-probe pass for B+-tree-backed paths.
+        Where the scalar probe pays a root-to-leaf descent plus a Python
+        leaf walk per range, the batch resolves *all* ranges against the
+        cached flat view (:meth:`_flattened`) — two ``searchsorted`` passes
+        locate every range's key run and one :func:`~repro.segments.run_indices`
+        gather pulls the tids out.  The O(n) flatten is only worth paying
+        when enough batch traffic amortises it, so small batches on a cold
+        tree keep the per-range leaf walk and accumulate debt instead
+        (:meth:`_use_flat_view`); both paths emit identical segments.
         """
         self.stats.range_lookups += len(ranges)
-        runs: list[list[TupleId]] = []
-        # Run-list position after each range; per-range entry counts are
-        # recovered with one C-level map(len) pass instead of per-run
-        # Python arithmetic inside the walk.
-        boundaries = np.empty(len(ranges) + 1, dtype=np.int64)
-        boundaries[0] = 0
-        for position, key_range in enumerate(ranges):
-            leaf: _LeafNode | None = self._find_leaf(key_range.low)
-            start = bisect.bisect_left(leaf.keys, key_range.low)
-            while leaf is not None:
-                stop = bisect.bisect_right(leaf.keys, key_range.high, start)
-                runs.extend(leaf.values[start:stop])
-                if stop < len(leaf.keys):
-                    break
-                leaf = leaf.next_leaf
-                start = 0
-            boundaries[position + 1] = len(runs)
-        lengths = np.fromiter(map(len, runs), dtype=np.int64,
-                              count=len(runs))
-        cumulative = np.zeros(len(runs) + 1, dtype=np.int64)
-        np.cumsum(lengths, out=cumulative[1:])
-        flat = list(chain.from_iterable(runs))
-        values_out = (np.asarray(flat) if flat
-                      else np.empty(0, dtype=np.int64))
-        return values_out, cumulative[boundaries]
+        count = len(ranges)
+        if not self._use_flat_view(_RANGE_PROBE_COST * count):
+            segments: list[list[TupleId]] = []
+            offsets = np.zeros(count + 1, dtype=np.int64)
+            total = 0
+            for position, key_range in enumerate(ranges):
+                flat = self._range_tids(key_range.low, key_range.high)
+                segments.append(flat)
+                total += len(flat)
+                offsets[position + 1] = total
+            self._flat_debt += (_TOUCHED_ENTRY_COST * total
+                                + _RANGE_PROBE_COST * count)
+            merged = list(chain.from_iterable(segments))
+            tids = (np.asarray(merged) if merged
+                    else np.empty(0, dtype=np.int64))
+            return tids, offsets
+        keys, key_offsets, tids = self._flattened()
+        lows = np.fromiter((key_range.low for key_range in ranges),
+                           dtype=np.float64, count=count)
+        highs = np.fromiter((key_range.high for key_range in ranges),
+                            dtype=np.float64, count=count)
+        starts = np.searchsorted(keys, lows, side="left")
+        stops = np.searchsorted(keys, highs, side="right")
+        indices, offsets = run_indices(key_offsets[starts],
+                                       key_offsets[stops])
+        return tids[indices], offsets
 
     def search_many_segmented(
         self, keys: np.ndarray, offsets: np.ndarray,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Segmented batched point probe: one sorted leaf-merge pass.
+        """Segmented batched point probe off the flattened leaf level.
 
         This is where batching beats B per-query ``search_many`` calls
-        *algorithmically*, not just on dispatch: the whole batch's keys are
-        sorted once and resolved by merging along the leaf chain — one
-        bisect inside the current leaf per key, advancing leaves as the
-        sorted keys pass them — instead of paying a full root-to-leaf
-        descent per key.  This is the primary-index resolution pass of the
-        batched executor under logical pointers, where per-key descents
-        dominate the whole lookup.
-
-        The probe results come out in sorted-key order; one stable argsort
-        over the output elements regroups them per input segment (order
-        within a segment is irrelevant — the executor validates and sorts
-        downstream).
+        *algorithmically*, not just on dispatch: instead of a full
+        root-to-leaf descent per key, the whole batch binary-searches the
+        cached flat view (:meth:`_flattened`) in one ``searchsorted`` pass
+        and gathers the matching tid runs with one
+        :func:`~repro.segments.run_indices` call.  This is the
+        primary-index resolution pass of the batched executor under
+        logical pointers, where per-key descents dominate the whole
+        lookup.  Probes are resolved in input order, so the per-key runs
+        are already grouped by input segment and the output offsets are a
+        plain fancy-index of the per-key ones.
         """
-        keys = np.asarray(keys)
+        keys = np.asarray(keys, dtype=np.float64)
         num_segments = offsets.size - 1
         if keys.size == 0:
             return np.empty(0, dtype=np.int64), empty_offsets(num_segments)
         self.stats.lookups += int(keys.size)
-        order = np.argsort(keys)
-        sorted_keys = keys[order].tolist()
-        empty: list[TupleId] = []
-        runs: list[list[TupleId]] = []
-        leaf: _LeafNode | None = self._find_leaf(float(sorted_keys[0]))
-        for key in sorted_keys:
-            while (leaf.next_leaf is not None
-                   and (not leaf.keys or leaf.keys[-1] < key)):
-                leaf = leaf.next_leaf
-            index = bisect.bisect_left(leaf.keys, key)
-            if index < len(leaf.keys) and leaf.keys[index] == key:
-                runs.append(leaf.values[index])
-            else:
-                runs.append(empty)
-        lengths = np.fromiter(map(len, runs), dtype=np.int64,
-                              count=len(runs))
-        flat = list(chain.from_iterable(runs))
-        if not flat:
+        if not self._use_flat_view(_POINT_PROBE_COST * int(keys.size)):
+            runs: list[list[TupleId]] = []
+            per_key = np.zeros(keys.size + 1, dtype=np.int64)
+            total = 0
+            for position, key in enumerate(keys.tolist()):
+                leaf = self._find_leaf(key)
+                index = bisect.bisect_left(leaf.keys, key)
+                if index < len(leaf.keys) and leaf.keys[index] == key:
+                    bucket = leaf.values[index]
+                    runs.append(bucket)
+                    total += len(bucket)
+                per_key[position + 1] = total
+            self._flat_debt += (_TOUCHED_ENTRY_COST * total
+                                + _POINT_PROBE_COST * int(keys.size))
+            merged = list(chain.from_iterable(runs))
+            tids = (np.asarray(merged) if merged
+                    else np.empty(0, dtype=np.int64))
+            return tids, per_key[offsets]
+        flat_keys, key_offsets, tids = self._flattened()
+        if flat_keys.size == 0:
             return np.empty(0, dtype=np.int64), empty_offsets(num_segments)
-        values_out = np.asarray(flat)
-        # Segment of every output element, in sorted-key order; a stable
-        # counting-style argsort groups the elements back per segment.
-        owners = np.repeat(segment_ids(offsets)[order], lengths)
-        regroup = np.argsort(owners, kind="stable")
-        per_segment = np.bincount(owners, minlength=num_segments)
-        return values_out[regroup], offsets_from_counts(per_segment)
+        positions = np.searchsorted(flat_keys, keys, side="left")
+        hit = positions < flat_keys.size
+        safe = np.where(hit, positions, 0)
+        hit &= flat_keys[safe] == keys
+        starts = np.where(hit, key_offsets[safe], 0)
+        stops = np.where(hit, key_offsets[safe + 1], 0)
+        indices, per_key = run_indices(starts, stops)
+        return tids[indices], per_key[offsets]
 
     def items(self) -> Iterator[tuple[float, TupleId]]:
         """Iterate all (key, tid) pairs in key order."""
@@ -406,6 +422,67 @@ class BPlusTree(Index):
         return self._size_model.btree_bytes(self._num_entries, self.node_capacity)
 
     # ---------------------------------------------------------------- private
+
+    def _use_flat_view(self, projected_cost: int) -> bool:
+        """Should this segmented batch (build and) use the flat view?
+
+        A cached view is always used — it is free.  Otherwise the batch
+        only triggers the O(n) flatten once the scalar work skipped so far
+        (``_flat_debt``, in entry-equivalents) plus this batch's projected
+        probe overhead would have paid for one flatten.  Rare small batches
+        on a big tree therefore never pay O(n), while steady batch traffic
+        converges to the array path after a bounded amount of scalar work;
+        writes drop the view but keep the debt, so a proven batch workload
+        rebuilds it on the first batch of each write-free window.
+        """
+        if self._flat_view is not None:
+            return True
+        return self._flat_debt + projected_cost >= self._num_entries
+
+    def _range_tids(self, low: float, high: float) -> list[TupleId]:
+        """One leaf-chain range walk, as a flat tid list (no stats bump)."""
+        runs: list[list[TupleId]] = []
+        leaf: _LeafNode | None = self._find_leaf(low)
+        start = bisect.bisect_left(leaf.keys, low)
+        while leaf is not None:
+            stop = bisect.bisect_right(leaf.keys, high, start)
+            runs.extend(leaf.values[start:stop])
+            if stop < len(leaf.keys):
+                break
+            leaf = leaf.next_leaf
+            start = 0
+        return list(chain.from_iterable(runs))
+
+    def _flattened(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sorted keys, per-key tid offsets and flat tids of the leaf level.
+
+        One walk of the leaf chain materialises the whole key space as
+        ``(keys, key_offsets, tids)`` — key ``i`` owns
+        ``tids[key_offsets[i]:key_offsets[i + 1]]``, tids in per-key
+        insertion order (exactly the order the scalar leaf walk emits).
+        Cached until any write; the segmented batch probes rebuild it at
+        most once per write-free window, turning B leaf walks into two
+        ``searchsorted`` calls and one gather.  The view is a *copy* of the
+        leaf contents, so it costs O(n) extra memory while live — it is
+        built lazily, only for trees that actually serve batched probes.
+        """
+        if self._flat_view is None:
+            all_keys: list[float] = []
+            all_values: list[list[TupleId]] = []
+            leaf: _LeafNode | None = self._leftmost_leaf()
+            while leaf is not None:
+                all_keys.extend(leaf.keys)
+                all_values.extend(leaf.values)
+                leaf = leaf.next_leaf
+            keys = np.asarray(all_keys, dtype=np.float64)
+            counts = np.fromiter(map(len, all_values), dtype=np.int64,
+                                 count=len(all_values))
+            key_offsets = np.zeros(counts.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=key_offsets[1:])
+            flat = list(chain.from_iterable(all_values))
+            tids = np.asarray(flat) if flat else np.empty(0, dtype=np.int64)
+            self._flat_view = (keys, key_offsets, tids)
+        return self._flat_view
 
     def _find_leaf(self, key: float) -> _LeafNode:
         node = self._root

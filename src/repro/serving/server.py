@@ -51,9 +51,11 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
+from dataclasses import field as dataclasses_field
 from typing import Callable
 
 from repro.engine.database import Database
+from repro.engine.planner import PlannerCacheStats
 from repro.engine.query import QueryRequest, QueryResult
 from repro.errors import ConfigurationError, ServingError
 
@@ -201,6 +203,10 @@ class ServerStats:
         full_flushes: Batches dispatched at exactly ``ServerConfig.max_batch``
             — i.e. flushes the queue filled rather than the timer cut.
         window: Current adaptive window (seconds).
+        plan_cache: The engine's cumulative plan-cache counters — together
+            with ``requests / batches`` this shows the two halves of
+            coalescing (fewer planner visits, bigger execution batches).
+        plan_cache_per_table: The same counters split per table.
     """
 
     requests: int = 0
@@ -208,6 +214,9 @@ class ServerStats:
     max_batch: int = 0
     full_flushes: int = 0
     window: float = 0.0
+    plan_cache: PlannerCacheStats = PlannerCacheStats()
+    plan_cache_per_table: "dict[str, PlannerCacheStats]" = dataclasses_field(
+        default_factory=dict)
 
     @property
     def mean_batch(self) -> float:
@@ -320,6 +329,8 @@ class Server:
             requests=self._requests, batches=self._batches,
             max_batch=self._max_batch, full_flushes=self._full_flushes,
             window=self._window,
+            plan_cache=self.database.planner_cache_stats(),
+            plan_cache_per_table=self.database.planner_cache_info(),
         )
 
     def close(self) -> None:

@@ -1,0 +1,13 @@
+"""Sharded parallel query execution (scatter/gather over N engines).
+
+See :mod:`repro.sharding.sharded` for the routing/merge semantics and
+:mod:`repro.sharding.worker` for the shard command protocol.
+"""
+
+from repro.sharding.sharded import (
+    LOCATION_STRIDE,
+    ShardedDatabase,
+    uniform_boundaries,
+)
+
+__all__ = ["LOCATION_STRIDE", "ShardedDatabase", "uniform_boundaries"]

@@ -1,0 +1,481 @@
+"""Sharded scatter/gather execution: N engine instances behind one facade.
+
+``ShardedDatabase`` partitions every table by primary-key range across
+``num_shards`` single-core :class:`~repro.engine.database.Database`
+instances and keeps the engine's request/result API
+(:class:`~repro.engine.query.QueryRequest` in,
+:class:`~repro.engine.query.QueryResult` out), so
+:class:`repro.serving.Server` can sit in front of it unchanged.
+
+Routing rules:
+
+* **DDL** (``create_table`` / ``create_index`` / ``create_composite_index``
+  / ``drop_index``) broadcasts to every shard — each shard owns a complete
+  catalog over its slice of the rows.
+* **DML** routes by primary key.  ``insert_many`` splits the column batch
+  by the table's shard boundaries with one vectorized ``searchsorted`` and
+  ships each shard its slice in one command; ``delete`` / ``update`` /
+  ``fetch`` decode the owning shard from the global row location.
+* **Reads** fan out to *every* shard: Hermit's whole premise is secondary
+  predicates over non-key columns, and those do not align with a
+  primary-key partitioning — any shard may hold matching rows.  Per-shard
+  results come back as packed segment batches and are merged per request.
+
+Row locations are globalised as ``shard_index * LOCATION_STRIDE + local``
+so they survive the round-trip through callers that later delete/update by
+location.  Merged results differ from the single-engine ones in exactly
+three documented ways: ``plan`` is ``None`` (plans hold live index
+references and stay shard-side), ``epoch`` is ``None`` (each shard runs
+its own epoch protocol, so a cross-shard read has no single epoch to
+report), and ``breakdown`` is the whole batch's accounting summed across
+shards rather than a per-plan-group slice.
+
+Two transports share one command dispatcher
+(:func:`repro.sharding.worker.dispatch_command`):
+
+* ``mode="process"`` — one worker process per shard over a
+  ``multiprocessing`` pipe; a fan-out sends to all shards before receiving
+  from any, so shards execute concurrently.  This is the parallel path the
+  sharding benchmark measures.
+* ``mode="inline"`` — the same shard databases in-process, no pipes.
+  Deterministic and cheap; what the equivalence tests use.
+
+Writes are atomic per shard only: a multi-shard ``insert_many`` that fails
+validation on one shard may have already applied on another (the fan-out
+raises after draining every reply, so the pipes stay in sync).  The serving
+tier's single-writer discipline makes this the same contract the WAL
+already offers — one logical batch, applied in shard order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.config import DEFAULT_CONFIG, TRSTreeConfig
+from repro.core.hermit import LookupBreakdown
+from repro.engine.access_path import DEFAULT_COST_MODEL, CostModel
+from repro.engine.database import Database
+from repro.engine.planner import PlannerCacheStats
+from repro.engine.query import (
+    QueryRequest,
+    QueryResult,
+    RangePredicate,
+)
+from repro.errors import CatalogError, ConfigurationError
+from repro.sharding.worker import dispatch_command, shard_worker_main
+from repro.storage.identifiers import PointerScheme
+from repro.storage.schema import TableSchema
+
+# Global row location = shard_index * LOCATION_STRIDE + shard-local
+# location.  2**32 leaves headroom for ~4e9 rows per shard and keeps the
+# encoded value well inside int64 for any sane shard count.
+LOCATION_STRIDE = 2 ** 32
+
+
+def uniform_boundaries(low: float, high: float,
+                       num_shards: int) -> list[float]:
+    """Equal-width primary-key split points for ``num_shards`` shards."""
+    if num_shards < 1:
+        raise ConfigurationError("num_shards must be >= 1")
+    return np.linspace(low, high, num_shards + 1)[1:-1].tolist()
+
+
+class _InlineShard:
+    """In-process shard: commands dispatch directly, replies are queued.
+
+    Mirrors the process shard's send/receive split so the router's fan-out
+    code is transport-agnostic, and runs the identical
+    :func:`~repro.sharding.worker.dispatch_command` body.
+    """
+
+    def __init__(self, pointer_scheme: PointerScheme,
+                 trs_config: TRSTreeConfig, cost_model: CostModel) -> None:
+        self.database = Database(pointer_scheme=pointer_scheme,
+                                 trs_config=trs_config, cost_model=cost_model)
+        self._replies: list[tuple[str, Any]] = []
+
+    def send(self, command: str, payload: Any) -> None:
+        try:
+            self._replies.append(
+                ("ok", dispatch_command(self.database, command, payload)))
+        except BaseException as error:  # noqa: BLE001 - symmetric transport
+            self._replies.append(("error", error))
+
+    def receive(self) -> tuple[str, Any]:
+        return self._replies.pop(0)
+
+    def close(self) -> None:
+        self.database.close()
+
+
+class _ProcessShard:
+    """One worker process per shard, spoken to over a duplex pipe."""
+
+    def __init__(self, pointer_scheme: PointerScheme,
+                 trs_config: TRSTreeConfig, cost_model: CostModel) -> None:
+        context = multiprocessing.get_context()
+        self._connection, child = context.Pipe()
+        self._process = context.Process(
+            target=shard_worker_main,
+            args=(child, pointer_scheme, trs_config, cost_model),
+            daemon=True,
+        )
+        self._process.start()
+        child.close()
+
+    def send(self, command: str, payload: Any) -> None:
+        self._connection.send((command, payload))
+
+    def receive(self) -> tuple[str, Any]:
+        return self._connection.recv()
+
+    def close(self) -> None:
+        try:
+            self._connection.send(("close", None))
+            self._connection.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+        self._connection.close()
+
+
+class ShardedDatabase:
+    """Primary-key-range sharded facade over N engine instances.
+
+    Args:
+        num_shards: Number of shard databases.
+        mode: ``"process"`` for one worker process per shard (parallel
+            execution), ``"inline"`` for in-process shards (deterministic,
+            no fork — the equivalence-testing transport).
+        pointer_scheme: Forwarded to every shard database.
+        trs_config: Forwarded to every shard database.
+        cost_model: Forwarded to every shard database.
+    """
+
+    def __init__(self, num_shards: int = 4, mode: str = "process",
+                 pointer_scheme: PointerScheme = PointerScheme.PHYSICAL,
+                 trs_config: TRSTreeConfig = DEFAULT_CONFIG,
+                 cost_model: CostModel = DEFAULT_COST_MODEL) -> None:
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be >= 1")
+        if mode not in ("process", "inline"):
+            raise ConfigurationError(
+                f"mode must be 'process' or 'inline', got {mode!r}")
+        self.num_shards = num_shards
+        self.mode = mode
+        self.pointer_scheme = pointer_scheme
+        shard_class = _ProcessShard if mode == "process" else _InlineShard
+        self._shards = [shard_class(pointer_scheme, trs_config, cost_model)
+                        for _ in range(num_shards)]
+        self._schemas: dict[str, TableSchema] = {}
+        self._boundaries: dict[str, np.ndarray] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Transport plumbing
+
+    def _drain(self, shards: "Sequence[tuple[int, Any]]") -> list[Any]:
+        """Receive one reply per listed shard; raise only after draining.
+
+        Raising on the first error would leave later replies unread and
+        desynchronise those pipes for every subsequent command, so errors
+        are collected and the first one re-raised once all replies are in.
+        """
+        values: list[Any] = []
+        first_error: BaseException | None = None
+        for _, shard in shards:
+            status, value = shard.receive()
+            if status == "error" and first_error is None:
+                first_error = value
+            values.append(value)
+        if first_error is not None:
+            raise first_error
+        return values
+
+    def _broadcast(self, command: str, payload: Any) -> list[Any]:
+        """Send one command to every shard, then gather every reply."""
+        for shard in self._shards:
+            shard.send(command, payload)
+        return self._drain(list(enumerate(self._shards)))
+
+    def _call(self, shard_index: int, command: str, payload: Any) -> Any:
+        shard = self._shards[shard_index]
+        shard.send(command, payload)
+        return self._drain([(shard_index, shard)])[0]
+
+    # ------------------------------------------------------------------
+    # Routing helpers
+
+    def _locate(self, location: int) -> tuple[int, int]:
+        """Decode a global row location into (shard_index, local location)."""
+        shard_index, local = divmod(int(location), LOCATION_STRIDE)
+        if not 0 <= shard_index < self.num_shards:
+            raise ConfigurationError(
+                f"location {location} does not belong to any of "
+                f"{self.num_shards} shards")
+        return shard_index, local
+
+    def _schema(self, table_name: str) -> TableSchema:
+        try:
+            return self._schemas[table_name]
+        except KeyError:
+            raise CatalogError(
+                f"table {table_name!r} does not exist") from None
+
+    def _shard_of_key(self, table_name: str, key: float) -> int:
+        boundaries = self._boundaries[table_name]
+        if boundaries.size == 0:
+            return 0
+        return int(np.searchsorted(boundaries, key, side="right"))
+
+    # ------------------------------------------------------------------
+    # DDL
+
+    def create_table(self, schema: TableSchema,
+                     boundaries: "Sequence[float] | None" = None) -> None:
+        """Create ``schema`` on every shard, partitioned at ``boundaries``.
+
+        ``boundaries`` is the ``num_shards - 1`` ascending primary-key
+        split points (shard ``i`` owns keys in ``(boundaries[i-1],
+        boundaries[i]]`` under ``searchsorted(..., side="right")``
+        semantics); see :func:`uniform_boundaries` for the equal-width
+        helper.  With one shard it may be omitted.
+        """
+        if boundaries is None:
+            if self.num_shards > 1:
+                raise ConfigurationError(
+                    f"table {schema.name!r} needs {self.num_shards - 1} "
+                    "primary-key boundaries for "
+                    f"{self.num_shards} shards (see uniform_boundaries)")
+            boundaries = []
+        edges = np.asarray(list(boundaries), dtype=np.float64)
+        if edges.size != self.num_shards - 1:
+            raise ConfigurationError(
+                f"expected {self.num_shards - 1} boundaries, "
+                f"got {edges.size}")
+        if edges.size and not np.all(np.diff(edges) > 0):
+            raise ConfigurationError("boundaries must be strictly ascending")
+        self._broadcast("create_table", schema)
+        self._schemas[schema.name] = schema
+        self._boundaries[schema.name] = edges
+
+    def create_index(self, name: str, table_name: str, column: str,
+                     **kwargs: Any) -> None:
+        """Create a secondary index on every shard.
+
+        Accepts the keyword surface of :meth:`Database.create_index`.
+        Returns ``None`` rather than an ``IndexEntry`` — the entries live
+        shard-side.
+        """
+        payload = dict(name=name, table_name=table_name, column=column,
+                       **kwargs)
+        self._broadcast("create_index", payload)
+
+    def create_composite_index(self, name: str, table_name: str,
+                               leading_column: str, second_column: str,
+                               **kwargs: Any) -> None:
+        """Create a composite secondary index on every shard."""
+        payload = dict(name=name, table_name=table_name,
+                       leading_column=leading_column,
+                       second_column=second_column, **kwargs)
+        self._broadcast("create_composite_index", payload)
+
+    def drop_index(self, table_name: str, index_name: str) -> None:
+        """Drop a secondary index on every shard."""
+        self._broadcast("drop_index", (table_name, index_name))
+
+    # ------------------------------------------------------------------
+    # DML
+
+    def insert_many(self, table_name: str,
+                    columns: "dict[str, Sequence]") -> list[int]:
+        """Bulk-insert, split per owning shard, global locations returned.
+
+        The primary-key column is routed with one vectorized
+        ``searchsorted`` against the table's boundaries; each involved
+        shard receives its whole slice as one column batch (numpy columns
+        sliced by fancy index, list columns — strings — by comprehension).
+        The returned locations are globalised and in input order.
+        """
+        schema = self._schema(table_name)
+        keys = np.asarray(columns[schema.primary_key], dtype=np.float64)
+        boundaries = self._boundaries[table_name]
+        if boundaries.size:
+            shard_ids = np.searchsorted(boundaries, keys, side="right")
+        else:
+            shard_ids = np.zeros(keys.size, dtype=np.int64)
+        global_locations = np.empty(keys.size, dtype=np.int64)
+        involved: list[tuple[int, np.ndarray]] = []
+        for shard_index in range(self.num_shards):
+            positions = np.flatnonzero(shard_ids == shard_index)
+            if positions.size == 0:
+                continue
+            part = {
+                name: (np.asarray(values)[positions]
+                       if not isinstance(values, list)
+                       else [values[i] for i in positions.tolist()])
+                for name, values in columns.items()
+            }
+            self._shards[shard_index].send("insert_many", (table_name, part))
+            involved.append((shard_index, positions))
+        replies = self._drain([(i, self._shards[i]) for i, _ in involved])
+        for (shard_index, positions), locations in zip(involved, replies):
+            global_locations[positions] = (
+                np.asarray(locations, dtype=np.int64)
+                + shard_index * LOCATION_STRIDE)
+        return global_locations.tolist()
+
+    def insert(self, table_name: str, row: dict) -> int:
+        """Insert one row, returning its global location."""
+        return self.insert_many(
+            table_name, {name: [value] for name, value in row.items()})[0]
+
+    def delete(self, table_name: str, location: int) -> None:
+        """Delete the row at global ``location`` on its owning shard."""
+        shard_index, local = self._locate(location)
+        self._call(shard_index, "delete", (table_name, local))
+
+    def update(self, table_name: str, location: int, changes: dict) -> int:
+        """Update a row; returns its (possibly new) global location.
+
+        A primary-key change that crosses a shard boundary cannot stay in
+        place: the row is fetched, patched, deleted from the old shard and
+        inserted into the new owner — so unlike
+        :meth:`Database.update` the location can change, and the new one
+        is returned (unchanged updates return the old location).
+        """
+        shard_index, local = self._locate(location)
+        pk = self._schema(table_name).primary_key
+        if pk in changes:
+            target = self._shard_of_key(table_name, float(changes[pk]))
+            if target != shard_index:
+                row = self._call(shard_index, "fetch", (table_name, local))
+                row.update(changes)
+                self._call(shard_index, "delete", (table_name, local))
+                new_local = self._call(
+                    target, "insert_many",
+                    (table_name, {k: [v] for k, v in row.items()}))[0]
+                return target * LOCATION_STRIDE + int(new_local)
+        self._call(shard_index, "update", (table_name, local, changes))
+        return int(location)
+
+    def fetch(self, table_name: str, location: int) -> dict:
+        """Fetch the row at global ``location`` from its owning shard."""
+        shard_index, local = self._locate(location)
+        return self._call(shard_index, "fetch", (table_name, local))
+
+    # ------------------------------------------------------------------
+    # Reads
+
+    def execute_many(self,
+                     requests: Sequence[QueryRequest]) -> list[QueryResult]:
+        """Answer a request batch: fan out to every shard, merge per request.
+
+        All shards receive the whole batch before any reply is read, so
+        under ``mode="process"`` the shards execute concurrently.  Each
+        request's merged result is the sorted concatenation of the
+        per-shard location sets (globalised); ``used_index`` and
+        ``group_size`` are reported from shard 0 (shards plan
+        independently but against identically-partitioned catalogs, so
+        they agree in practice), ``breakdown`` is the batch total across
+        shards, and ``epoch`` is ``None`` — see the module docstring.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        replies = self._broadcast("execute_many", requests)
+        merged_breakdown = LookupBreakdown()
+        for reply in replies:
+            merged_breakdown.merge(reply[5])
+        results: list[QueryResult] = []
+        for position in range(len(requests)):
+            pieces = []
+            for shard_index, reply in enumerate(replies):
+                values, offsets = reply[0], reply[1]
+                segment = values[offsets[position]:offsets[position + 1]]
+                if segment.size:
+                    pieces.append(segment + shard_index * LOCATION_STRIDE)
+            merged = (np.sort(np.concatenate(pieces)) if pieces
+                      else np.empty(0, dtype=np.int64))
+            results.append(QueryResult(
+                locations=merged.tolist(),
+                breakdown=merged_breakdown,
+                used_index=replies[0][2][position],
+                group_size=replies[0][3][position],
+                epoch=None,
+            ))
+        return results
+
+    def execute(self, request: QueryRequest) -> QueryResult:
+        """Answer one request (thin wrapper over :meth:`execute_many`)."""
+        return self.execute_many([request])[0]
+
+    def query(self, table_name: str,
+              predicate: RangePredicate) -> QueryResult:
+        """Single-predicate convenience mirroring :meth:`Database.query`."""
+        return self.execute(QueryRequest.of(table_name, predicate))
+
+    def query_many(self, table_name: str,
+                   predicates: Sequence[RangePredicate]) -> list[QueryResult]:
+        """Predicate-batch convenience mirroring :meth:`Database.query_many`."""
+        return self.execute_many(
+            [QueryRequest.of(table_name, p) for p in predicates])
+
+    # ------------------------------------------------------------------
+    # Observability (the surface repro.serving.Server reads)
+
+    def planner_cache_stats(self) -> PlannerCacheStats:
+        """Plan-cache counters summed across every shard's planner."""
+        replies = self._broadcast("planner_info", None)
+        return PlannerCacheStats(
+            hits=sum(reply[0].hits for reply in replies),
+            misses=sum(reply[0].misses for reply in replies),
+            replays=sum(reply[0].replays for reply in replies),
+        )
+
+    def planner_cache_info(self) -> "dict[str, PlannerCacheStats]":
+        """Per-table plan-cache counters summed across shards."""
+        replies = self._broadcast("planner_info", None)
+        totals: dict[str, list[int]] = {}
+        for reply in replies:
+            for table_name, stats in reply[1].items():
+                entry = totals.setdefault(table_name, [0, 0, 0])
+                entry[0] += stats.hits
+                entry[1] += stats.misses
+                entry[2] += stats.replays
+        return {
+            table_name: PlannerCacheStats(hits=hits, misses=misses,
+                                          replays=replays)
+            for table_name, (hits, misses, replays) in sorted(totals.items())
+        }
+
+    def num_rows(self, table_name: str) -> int:
+        """Total live rows across shards."""
+        return sum(self.shard_row_counts(table_name))
+
+    def shard_row_counts(self, table_name: str) -> list[int]:
+        """Per-shard live row counts (partition-balance observability)."""
+        return self._broadcast("num_rows", table_name)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def close(self) -> None:
+        """Shut down every shard (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

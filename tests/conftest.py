@@ -21,6 +21,13 @@ def pytest_configure(config):
     )
     config.addinivalue_line(
         "markers",
+        "sharding: scatter/gather equivalence tests for the sharded "
+        "execution tier (ShardedDatabase vs a single Database on identical "
+        "DML + query traces); CI runs them as a dedicated step (select "
+        "with '-m sharding')",
+    )
+    config.addinivalue_line(
+        "markers",
         "serving: concurrency tests for the coalescing serving front end "
         "(epoch protocol, writer-interleaving stress, server-vs-batch "
         "equivalence); CI runs them as a dedicated step (select with "

@@ -1,0 +1,260 @@
+"""Equivalence tests for the vectorized TRS-Tree batch translation.
+
+``TRSTree.lookup_many`` must agree with a loop of scalar ``lookup`` calls
+for every leaf-model variant the builder can select (linear, log-linear,
+piecewise, outlier-only demotion), every tree shape (single leaf, deep
+splits, empty build) and every predicate position (inside the built
+domain, straddling its edges, fully outside).
+
+The batch path differs from the scalar one in exactly two sanctioned ways:
+
+* host ranges come back sorted and coalesced (adjacent-within-one-ulp
+  ranges merge — no representable float can fall in the gap, so the
+  candidate set is unchanged), whereas the scalar walk emits them in BFS
+  leaf order un-merged;
+* outlier tids within one query may come back in a different (DFS) leaf
+  order.
+
+The comparisons below normalise the scalar output through the same
+coalescing rule and sort both outlier lists, then demand exact equality —
+including the per-query ``nodes_visited`` / ``leaves_visited`` counters,
+which pin the batch descent to visiting precisely the scalar node set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import TRSTreeConfig
+from repro.core.trs_tree import TRSTree, coalesce_sorted_ranges
+from repro.index.base import KeyRange
+
+SETTINGS = settings(max_examples=20, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def normalise(host_ranges: list[KeyRange]) -> list[tuple[float, float]]:
+    """Sort and ulp-coalesce scalar host ranges into the batch's canon."""
+    if not host_ranges:
+        return []
+    ordered = sorted(host_ranges, key=lambda r: r.low)
+    merged: list[list[float]] = [[ordered[0].low, ordered[0].high]]
+    for key_range in ordered[1:]:
+        previous = merged[-1]
+        if key_range.low > np.nextafter(previous[1], np.inf):
+            merged.append([key_range.low, key_range.high])
+        else:
+            previous[1] = max(previous[1], key_range.high)
+    return [(low, high) for low, high in merged]
+
+
+def assert_batch_matches_scalar(tree: TRSTree,
+                                predicates: list[KeyRange]) -> None:
+    batch = tree.lookup_many(predicates)
+    assert batch.num_queries == len(predicates)
+    for position, predicate in enumerate(predicates):
+        scalar = tree.lookup(predicate)
+        batch_ranges = [(r.low, r.high)
+                        for r in batch.host_ranges_for(position)]
+        assert batch_ranges == normalise(scalar.host_ranges), (
+            position, predicate)
+        assert (sorted(batch.outliers_for(position).tolist())
+                == sorted(scalar.outlier_tids)), (position, predicate)
+        assert int(batch.leaves_visited[position]) == scalar.leaves_visited
+        assert int(batch.nodes_visited[position]) == scalar.nodes_visited
+
+
+def probe_batch(low: float, high: float) -> list[KeyRange]:
+    """Predicates covering inside/edge/outside positions of [low, high]."""
+    span = max(high - low, 1.0)
+    grid = np.linspace(low - 0.25 * span, high + 0.25 * span, 17)
+    predicates = [KeyRange(float(a), float(b))
+                  for a in grid for b in grid[::4] if b >= a]
+    # Point predicates exercise the zero-width descent.
+    predicates += [KeyRange(float(v), float(v)) for v in grid[::3]]
+    return predicates
+
+
+def make_tree(targets, hosts, **config_kwargs) -> TRSTree:
+    config = TRSTreeConfig(min_split_size=8, **config_kwargs)
+    tree = TRSTree(config)
+    tree.build(np.asarray(targets, dtype=np.float64),
+               np.asarray(hosts, dtype=np.float64),
+               np.arange(len(targets)))
+    return tree
+
+
+class TestLeafModelVariants:
+    """One dataset per leaf-model family the builder can select."""
+
+    def test_linear_single_leaf(self):
+        rng = np.random.default_rng(0)
+        targets = rng.uniform(0.0, 1000.0, 2000)
+        tree = make_tree(targets, 2.0 * targets + 5.0)
+        assert tree.num_leaves == 1
+        assert_batch_matches_scalar(tree, probe_batch(0.0, 1000.0))
+
+    def test_linear_with_outliers(self):
+        rng = np.random.default_rng(1)
+        targets = rng.uniform(0.0, 1000.0, 2000)
+        hosts = 2.0 * targets + 5.0
+        hosts[:40] += 5000.0
+        tree = make_tree(targets, hosts)
+        assert tree.num_outliers >= 40
+        assert_batch_matches_scalar(tree, probe_batch(0.0, 1000.0))
+
+    def test_log_linear_split_tree(self):
+        rng = np.random.default_rng(2)
+        targets = rng.uniform(1.0, 1000.0, 4000)
+        hosts = np.exp(targets / 250.0) * (1.0 + rng.normal(0, 0.01, 4000))
+        tree = make_tree(targets, hosts)
+        assert_batch_matches_scalar(tree, probe_batch(1.0, 1000.0))
+
+    def test_piecewise_nonlinear(self):
+        rng = np.random.default_rng(3)
+        targets = rng.uniform(0.0, 1000.0, 4000)
+        hosts = np.sqrt(targets) * 100.0 + rng.normal(0, 1.0, 4000)
+        tree = make_tree(targets, hosts)
+        assert tree.num_leaves > 1
+        assert_batch_matches_scalar(tree, probe_batch(0.0, 1000.0))
+
+    def test_outlier_only_demotion(self):
+        # Uncorrelated noise at max_height=1 cannot split: the leaf demotes
+        # to exact outliers (or keeps a wide band) — either way the batch
+        # walk must mirror it.
+        rng = np.random.default_rng(4)
+        targets = rng.uniform(0.0, 100.0, 500)
+        hosts = rng.uniform(0.0, 100.0, 500)
+        tree = make_tree(targets, hosts, max_height=1)
+        assert_batch_matches_scalar(tree, probe_batch(0.0, 100.0))
+
+    def test_deep_sine_tree(self):
+        rng = np.random.default_rng(5)
+        targets = rng.uniform(0.0, 1000.0, 5000)
+        hosts = np.sin(targets / 50.0) * 500.0 + rng.normal(0, 2.0, 5000)
+        tree = make_tree(targets, hosts)
+        assert tree.height > 1
+        assert_batch_matches_scalar(tree, probe_batch(0.0, 1000.0))
+
+
+class TestShapeEdges:
+    def test_empty_tree(self):
+        tree = TRSTree()
+        tree.build([], [], [])
+        batch = tree.lookup_many([KeyRange(0.0, 10.0), KeyRange(-5.0, -1.0)])
+        assert batch.num_queries == 2
+        assert batch.host_lows.size == 0
+        assert batch.outlier_tids.size == 0
+        assert_batch_matches_scalar(
+            tree, [KeyRange(0.0, 10.0), KeyRange(-5.0, -1.0)])
+
+    def test_unbuilt_tree(self):
+        tree = TRSTree()
+        batch = tree.lookup_many([KeyRange(0.0, 1.0)])
+        assert batch.num_queries == 1
+        assert batch.host_lows.size == 0
+
+    def test_empty_batch(self):
+        targets = np.linspace(0.0, 100.0, 200)
+        tree = make_tree(targets, targets * 3.0)
+        batch = tree.lookup_many([])
+        assert batch.num_queries == 0
+        assert batch.host_offsets.tolist() == [0]
+
+    def test_zero_width_target_domain(self):
+        # All targets equal: every routing boundary collapses to one point.
+        targets = np.full(300, 42.0)
+        hosts = np.linspace(0.0, 10.0, 300)
+        tree = make_tree(targets, hosts)
+        predicates = [KeyRange(42.0, 42.0), KeyRange(41.0, 43.0),
+                      KeyRange(0.0, 41.9), KeyRange(42.1, 50.0)]
+        assert_batch_matches_scalar(tree, predicates)
+
+    def test_predicates_beyond_built_domain(self):
+        # Edge leaves are open-ended for post-build inserts; out-of-domain
+        # predicates must still visit them, batched exactly like scalar.
+        rng = np.random.default_rng(6)
+        targets = rng.uniform(100.0, 200.0, 1000)
+        tree = make_tree(targets, targets * -1.5 + 7.0)
+        predicates = [KeyRange(-1e6, 50.0), KeyRange(250.0, 1e6),
+                      KeyRange(-np.inf, np.inf), KeyRange(0.0, 1000.0)]
+        assert_batch_matches_scalar(tree, predicates)
+
+    def test_after_incremental_inserts_and_deletes(self):
+        rng = np.random.default_rng(7)
+        targets = rng.uniform(0.0, 1000.0, 2000)
+        hosts = 3.0 * targets + rng.normal(0, 0.5, 2000)
+        tree = make_tree(targets, hosts)
+        for i in range(200):
+            tree.insert(float(1000.0 + i), float(-5000.0 - i), 2000 + i)
+        for i in range(0, 100, 3):
+            tree.delete(float(targets[i]), float(hosts[i]), i)
+        assert_batch_matches_scalar(tree, probe_batch(0.0, 1200.0))
+
+
+class TestCoalesce:
+    def test_merges_overlap_and_ulp_adjacency(self):
+        lows = np.array([0.0, 5.0, np.nextafter(10.0, np.inf), 20.0])
+        highs = np.array([6.0, 10.0, 12.0, 25.0])
+        ids = np.zeros(4, dtype=np.int64)
+        out_lows, out_highs, offsets = coalesce_sorted_ranges(
+            lows, highs, ids, 1)
+        assert out_lows.tolist() == [0.0, 20.0]
+        assert out_highs.tolist() == [12.0, 25.0]
+        assert offsets.tolist() == [0, 2]
+
+    def test_gap_wider_than_one_ulp_preserved(self):
+        lows = np.array([0.0, 10.0 + 1e-9])
+        highs = np.array([10.0, 20.0])
+        ids = np.zeros(2, dtype=np.int64)
+        out_lows, _, offsets = coalesce_sorted_ranges(lows, highs, ids, 1)
+        assert out_lows.tolist() == [0.0, 10.0 + 1e-9]
+        assert offsets.tolist() == [0, 2]
+
+    def test_never_merges_across_queries(self):
+        lows = np.array([0.0, 5.0])
+        highs = np.array([10.0, 15.0])
+        ids = np.array([0, 1], dtype=np.int64)
+        out_lows, out_highs, offsets = coalesce_sorted_ranges(
+            lows, highs, ids, 2)
+        assert out_lows.tolist() == [0.0, 5.0]
+        assert out_highs.tolist() == [10.0, 15.0]
+        assert offsets.tolist() == [0, 1, 2]
+
+
+correlated_rows = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        st.floats(min_value=-500.0, max_value=500.0, allow_nan=False),
+        st.booleans(),
+    ),
+    min_size=0, max_size=300,
+)
+
+predicate_bounds = st.lists(
+    st.tuples(
+        st.floats(min_value=-200.0, max_value=1200.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=600.0, allow_nan=False),
+    ),
+    min_size=1, max_size=16,
+)
+
+
+class TestPropertyEquivalence:
+    @SETTINGS
+    @given(rows=correlated_rows, bounds=predicate_bounds)
+    def test_lookup_many_matches_scalar_loop(self, rows, bounds):
+        targets = np.array([t for t, _, _ in rows], dtype=np.float64)
+        # Mostly-linear hosts with hypothesis-chosen perturbations on the
+        # flagged rows: enough structure to build bands, enough noise to
+        # populate outlier buffers and force splits.
+        hosts = np.array(
+            [2.0 * t + (noise if flagged else 0.0)
+             for t, noise, flagged in rows], dtype=np.float64)
+        tree = TRSTree(TRSTreeConfig(min_split_size=8))
+        tree.build(targets, hosts, np.arange(len(rows)))
+        predicates = [KeyRange(low, low + span) for low, span in bounds]
+        assert_batch_matches_scalar(tree, predicates)
