@@ -110,7 +110,7 @@ def test_ablation_sampling_construction(benchmark):
 
         def resolve(tree):
             result = tree.lookup(predicate)
-            candidates = set(int(t) for t in result.outlier_tids)
+            candidates = {int(t) for t in result.outlier_tids}
             for host_range in result.host_ranges:
                 candidates.update(
                     int(i) for i in np.flatnonzero(

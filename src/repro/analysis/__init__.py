@@ -1,0 +1,27 @@
+"""Repo-specific static analysis: ``python -m repro.analysis src tests``.
+
+The framework lives in :mod:`repro.analysis.framework`, the invariant
+rules in :mod:`repro.analysis.rules`, and the CLI in ``__main__``.  The
+dynamic counterpart — the epoch-lock discipline detector — is
+``EpochManager(debug=True)`` in :mod:`repro.engine.epochs`.
+"""
+
+from repro.analysis.framework import (
+    Finding,
+    Module,
+    Rule,
+    all_rules,
+    analyze_modules,
+    analyze_paths,
+    register,
+)
+
+__all__ = [
+    "Finding",
+    "Module",
+    "Rule",
+    "all_rules",
+    "analyze_modules",
+    "analyze_paths",
+    "register",
+]

@@ -1,0 +1,74 @@
+"""CLI: ``python -m repro.analysis [paths ...]``.
+
+Runs every registered invariant rule over the given files/directories
+(default: ``src tests benchmarks``, falling back to the current
+directory) and prints one ``path:line: RULE message`` line per finding.
+
+Exit status: 0 when clean, 1 when findings survive suppression, 2 on
+usage errors.  ``--select`` restricts to a comma-separated rule-id list;
+``--list-rules`` prints the catalogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.framework import all_rules, analyze_paths
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific AST invariant linter.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids to run")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    options = parser.parse_args(argv)
+
+    rules = all_rules()
+    if options.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id} {rule.name}: {rule.description}")
+        return 0
+
+    if options.select:
+        wanted = {rule_id.strip() for rule_id in options.select.split(",")}
+        unknown = wanted - {rule.rule_id for rule in rules}
+        if unknown:
+            print(f"unknown rule ids: {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+
+    if options.paths:
+        paths = [Path(path) for path in options.paths]
+    else:
+        paths = [Path(name) for name in DEFAULT_PATHS if Path(name).exists()]
+        if not paths:
+            paths = [Path(".")]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        print(f"no such path: {', '.join(str(p) for p in missing)}",
+              file=sys.stderr)
+        return 2
+
+    findings = analyze_paths(paths, rules=rules, root=Path.cwd())
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        count = len(findings)
+        plural = "s" if count != 1 else ""
+        print(f"{count} finding{plural}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""REP006: broad excepts only with a written-down reason.
+
+A bare ``except:``, ``except Exception:`` or ``except BaseException:``
+swallows programming errors along with the failure it meant to catch.
+The repo allows them only at genuine fault boundaries — the shard worker
+shipping any failure to the router, the server's dispatch thread that
+must never die, the WAL decoder converting any decode failure into
+``WalCorruptionError`` — and the convention (modelled by
+``sharding/worker.py`` and ``serving/server.py``) is that each such site
+carries ``# noqa: BLE001`` *with a trailing rationale*::
+
+    except BaseException as error:  # noqa: BLE001 - ship to the router
+
+The rule flags every broad handler without one (a repro suppression
+``# repro: ignore[REP006] -- ...`` works too).  A bare ``noqa`` with no
+reason does not count: the reason is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.framework import Finding, Module, Rule, register
+
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa:\s*(?P<codes>[A-Z0-9, ]+?)(?P<rationale>\s*[-–—:]{1,2}\s*\S.*)?$"
+)
+
+
+def _broad_exception_name(handler: ast.ExceptHandler) -> str | None:
+    """'Exception'/'BaseException'/'bare' when the handler is broad."""
+    node = handler.type
+    if node is None:
+        return "bare"
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in BROAD_NAMES:
+            return candidate.id
+    return None
+
+
+def _has_noqa_rationale(module: Module, line: int) -> bool:
+    comment = module.comments.get(line)
+    if comment is None:
+        return False
+    match = _NOQA_RE.search(comment)
+    if match is None or "BLE001" not in match.group("codes"):
+        return False
+    rationale = match.group("rationale")
+    return bool(rationale and rationale.strip(" -–—:"))
+
+
+@register
+class BroadExceptRationale(Rule):
+    rule_id = "REP006"
+    name = "broad-except-rationale"
+    description = ("broad except handlers need '# noqa: BLE001 - reason' "
+                   "or a repro suppression with rationale")
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _broad_exception_name(node)
+            if broad is None:
+                continue
+            if _has_noqa_rationale(module, node.lineno):
+                continue
+            label = ("a bare except" if broad == "bare"
+                     else f"except {broad}")
+            yield Finding(
+                rule=self.rule_id,
+                message=(
+                    f"{label} without a rationale — narrow it to the "
+                    f"failures this boundary really absorbs, or add "
+                    f"'# noqa: BLE001 - <why>'"
+                ),
+                path=module.path, line=node.lineno,
+            )

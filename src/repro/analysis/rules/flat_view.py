@@ -1,0 +1,122 @@
+"""REP001: mutators of flat-view caches must drop the cache.
+
+``BPlusTree`` and ``OutlierBuffer`` keep a cached *flat view* of their
+entries (``self._flat_view``) that turns batched lookups into pure array
+passes.  The cache is only correct while the underlying entries are
+unchanged, so **every** method that mutates entry state must end the
+cache's life with ``self._flat_view = None`` — the invariant behind the
+scattered assignment sites in ``src/repro/index/bptree.py`` and
+``src/repro/core/outliers.py``.  A new mutator that forgets the drop
+produces silently stale batch results, which no test notices until a
+workload happens to interleave that mutator with ``*_many`` lookups.
+
+The rule applies to any class whose ``__init__`` assigns
+``self._flat_view``.  A method counts as a mutator when it assigns,
+augments or deletes one of the entry-state attributes below, or calls a
+mutating container method on one; it satisfies the invariant when its
+body contains ``self._flat_view = None`` on some path (the rule is
+reachability-insensitive by design — the cheap discipline is to clear
+unconditionally, which every current site does).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import (
+    Finding,
+    Module,
+    Rule,
+    iter_methods,
+    register,
+    self_attr_target,
+)
+
+#: Attributes that hold entry state feeding the flat view.
+ENTRY_STATE = frozenset({
+    "_entries", "_sorted_keys", "_count", "_num_entries", "_root", "_height",
+})
+
+#: Container methods that mutate in place.
+MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault",
+})
+
+
+def _mutated_state(method: ast.FunctionDef) -> set[str]:
+    """Entry-state attributes this method mutates, by name."""
+    mutated: set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                attr = self_attr_target(target)
+                if attr in ENTRY_STATE:
+                    mutated.add(attr)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                base = (target.value if isinstance(target, ast.Subscript)
+                        else target)
+                attr = self_attr_target(base)
+                if attr in ENTRY_STATE:
+                    mutated.add(attr)
+        elif isinstance(node, ast.Call):
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in MUTATING_METHODS):
+                attr = self_attr_target(node.func.value)
+                if attr in ENTRY_STATE:
+                    mutated.add(attr)
+    return mutated
+
+
+def _clears_flat_view(method: ast.FunctionDef) -> bool:
+    """Whether the method contains ``self._flat_view = None``."""
+    for node in ast.walk(method):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not (isinstance(node.value, ast.Constant)
+                and node.value.value is None):
+            continue
+        for target in node.targets:
+            if self_attr_target(target) == "_flat_view":
+                return True
+    return False
+
+
+@register
+class FlatViewInvalidation(Rule):
+    rule_id = "REP001"
+    name = "flat-view-invalidation"
+    description = ("methods mutating flat-view-backed entry state must "
+                   "clear self._flat_view")
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        for class_node in ast.walk(module.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            methods = list(iter_methods(class_node))
+            init = next((m for m in methods if m.name == "__init__"), None)
+            if init is None or not any(
+                self_attr_target(t) == "_flat_view"
+                for node in ast.walk(init) if isinstance(node, ast.Assign)
+                for t in node.targets
+            ):
+                continue
+            for method in methods:
+                if method.name == "__init__":
+                    continue
+                mutated = _mutated_state(method)
+                if mutated and not _clears_flat_view(method):
+                    attrs = ", ".join(sorted(mutated))
+                    yield Finding(
+                        rule=self.rule_id,
+                        message=(
+                            f"{class_node.name}.{method.name} mutates "
+                            f"{attrs} without dropping self._flat_view — "
+                            f"batched lookups would serve a stale cache"
+                        ),
+                        path=module.path, line=method.lineno,
+                    )

@@ -220,7 +220,7 @@ def measure_serving(setup: ServingSetup, num_clients: int = 64,
                     point_fraction: float = 0.5, selectivity: float = 2e-3,
                     overload: float = 3.0, rounds: int = 5,
                     issuing_threads: int | None = None, seed: int = 42,
-                    config: ServerConfig = ServerConfig(),
+                    config: ServerConfig | None = None,
                     ) -> tuple[ServingMeasurement, ServerStats]:
     """Race the coalescing server against per-call threads, open loop.
 

@@ -190,12 +190,12 @@ def measure_write_path(workload: str, mechanism: str, base_rows: int,
                                   insert_columns["target"]])
     for low, high in _verify_predicates(all_targets):
         predicate = RangePredicate("target", low, high)
-        scalar_locations = set(
+        scalar_locations = {
             int(loc) for loc in scalar_db.query(table_name, predicate).locations
-        )
-        batched_locations = set(
+        }
+        batched_locations = {
             int(loc) for loc in batched_db.query(table_name, predicate).locations
-        )
+        }
         agree = agree and scalar_locations == batched_locations
         total_results += len(batched_locations)
 

@@ -78,6 +78,8 @@ class OutlierBuffer:
         run_stops = np.concatenate([run_starts[1:], [count]])
         positions = order.tolist()
         new_keys: list[float] = []
+        # repro: ignore[REP004] -- iterates distinct-key runs, not elements;
+        # bucket dicts have no array form to extend in one pass
         for start, stop in zip(run_starts.tolist(), run_stops.tolist()):
             value = float(sorted_values[start])
             if value not in self._entries:
@@ -172,6 +174,8 @@ class OutlierBuffer:
             segments: list[list[TupleId]] = []
             offsets = np.zeros(count + 1, dtype=np.int64)
             total = 0
+            # repro: ignore[REP004] -- documented scalar fallback while the
+            # flat-view debt counter says a cold flatten would cost more
             for position, (low, high) in enumerate(
                     zip(np.asarray(lows).tolist(), np.asarray(highs).tolist())):
                 flat = self.lookup(KeyRange(low, high))

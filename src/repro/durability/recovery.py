@@ -172,7 +172,9 @@ def recover(config: DurabilityConfig,
             _apply_record(database, record)
         except DurabilityError:
             raise
-        except Exception as error:
+        except Exception as error:  # noqa: BLE001 - any engine error here
+            # means a checksum-valid record failed to re-apply; every such
+            # failure must surface as DurabilityError, whatever its type.
             raise DurabilityError(
                 f"WAL record lsn={record.lsn} op={record.op.name} failed to "
                 f"replay: {error}"

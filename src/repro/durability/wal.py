@@ -203,7 +203,9 @@ def decode_payload(op: WalOp, raw: bytes) -> dict:
         return json.loads(raw.decode("utf-8"))
     except WalCorruptionError:
         raise
-    except Exception as error:
+    except Exception as error:  # noqa: BLE001 - any decode failure of a
+        # checksum-valid record (bad JSON, bad UTF-8, truncated column
+        # stream, ...) is corruption by definition and must be wrapped.
         raise WalCorruptionError(
             f"checksum-valid {op.name} record failed to decode: {error}"
         ) from error

@@ -168,16 +168,31 @@ class TableEntry:
 
 
 class Catalog:
-    """Registry of tables and their indexes."""
+    """Registry of tables and their indexes.
 
-    def __init__(self) -> None:
+    Args:
+        epoch_guard: Optional callable invoked with a short label by every
+            catalog mutator (``add_table``, ``add_index``, ``drop_index``,
+            ``bump_data_epoch``).  ``Database`` wires it to
+            :meth:`EpochManager.note_mutation
+            <repro.engine.epochs.EpochManager.note_mutation>` so the
+            epoch-lock discipline checker sees catalog mutations; a bare
+            ``Catalog()`` (tests, planner fixtures) runs unguarded.
+    """
+
+    def __init__(self, epoch_guard=None) -> None:
         self._tables: dict[str, TableEntry] = {}
         self._version = 0
+        self._epoch_guard = epoch_guard
         # (table, column) -> (observation count, data epoch, stats); rebuilt
         # when the table has observed new values, committed a mutation epoch
         # or changed its live row count.
         self._stats_cache: dict[tuple[str, str],
                                 tuple[int, int, ColumnStats]] = {}
+
+    def _guard(self, label: str) -> None:
+        if self._epoch_guard is not None:
+            self._epoch_guard(label)
 
     @property
     def version(self) -> int:
@@ -194,6 +209,7 @@ class Catalog:
         Raises:
             CatalogError: If a table with the same name already exists.
         """
+        self._guard("catalog.add_table")
         if name in self._tables:
             raise CatalogError(f"table {name!r} already exists")
         entry = TableEntry(name=name, table=table, primary_index=primary_index)
@@ -217,6 +233,7 @@ class Catalog:
         Raises:
             CatalogError: If the index name is taken on that table.
         """
+        self._guard("catalog.add_index")
         table_entry = self.table_entry(entry.table_name)
         if entry.name in table_entry.indexes:
             raise CatalogError(
@@ -227,6 +244,7 @@ class Catalog:
 
     def drop_index(self, table_name: str, index_name: str) -> IndexEntry:
         """Remove and return a secondary index entry."""
+        self._guard("catalog.drop_index")
         table_entry = self.table_entry(table_name)
         try:
             dropped = table_entry.indexes.pop(index_name)
@@ -244,6 +262,7 @@ class Catalog:
         under the write side of its :class:`~repro.engine.epochs.EpochManager`,
         so the bump is always ordered after the mutation it records.
         """
+        self._guard("catalog.bump_data_epoch")
         entry = self.table_entry(table_name)
         entry.data_epoch += 1
         return entry.data_epoch

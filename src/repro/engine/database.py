@@ -104,6 +104,12 @@ class Database:
             :func:`repro.durability.recovery.recover` to reopen one.  The
             default (``None``) keeps the engine purely in memory at zero
             added cost.
+        epoch_debug: Switch on the epoch-lock discipline checker
+            (``EpochManager(debug=True)``): catalog mutations outside the
+            exclusive side, upgrade attempts and lock-order inversions
+            raise :class:`~repro.errors.EpochDisciplineError` with the
+            acquisition stacks involved.  For tests and debugging; the
+            default keeps the lean production path.
     """
 
     def __init__(self, pointer_scheme: PointerScheme = PointerScheme.PHYSICAL,
@@ -111,16 +117,19 @@ class Database:
                  size_model: SizeModel = DEFAULT_SIZE_MODEL,
                  advisor: HostColumnAdvisor | None = None,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
-                 durability: DurabilityConfig | None = None) -> None:
+                 durability: DurabilityConfig | None = None,
+                 epoch_debug: bool = False) -> None:
         self.pointer_scheme = pointer_scheme
         self.trs_config = trs_config
         self.size_model = size_model
         self.advisor = advisor or HostColumnAdvisor()
-        self.catalog = Catalog()
-        self.planner = Planner(self.catalog, pointer_scheme, cost_model)
         # Reader-writer epoch protocol: reads share, DDL/DML excludes.  One
         # manager per database (see repro.engine.epochs for why coarse).
-        self.epochs = EpochManager()
+        # The catalog reports its mutations to the manager's discipline
+        # checker (a no-op unless epoch_debug is on).
+        self.epochs = EpochManager(debug=epoch_debug)
+        self.catalog = Catalog(epoch_guard=self.epochs.note_mutation)
+        self.planner = Planner(self.catalog, pointer_scheme, cost_model)
         self._durability: DurabilityManager | None = (
             DurabilityManager(durability) if durability is not None else None
         )
@@ -366,8 +375,12 @@ class Database:
         Delegates to :meth:`insert_many` with a batch of one so the scalar
         and batched write paths cannot drift apart.
         """
-        entry = self.catalog.table_entry(table_name)
-        entry.table.schema.validate_row(row)
+        # The pre-validation reads the catalog, so it needs the shared
+        # side; the write side is taken by insert_many *after* the read
+        # releases (holding it across the call would be an upgrade).
+        with self.epochs.read():
+            entry = self.catalog.table_entry(table_name)
+            entry.table.schema.validate_row(row)
         return self.insert_many(
             table_name, {name: [value] for name, value in row.items()}
         )[0]
@@ -513,7 +526,11 @@ class Database:
         """
         if self._durability is None:
             raise DurabilityError("durability is not enabled on this database")
-        return self._durability.checkpoint(self)
+        # The snapshot must observe the engine between mutations: the
+        # shared side excludes writers without blocking other reads (and
+        # is reentrant under the write side for auto-checkpoints).
+        with self.epochs.read():
+            return self._durability.checkpoint(self)
 
     def flush_wal(self) -> None:
         """Force the WAL to stable storage (no-op when durability is off)."""
@@ -681,7 +698,8 @@ class Database:
                 query: "ConjunctiveQuery | Sequence[RangePredicate] | RangePredicate",
     ) -> Plan:
         """Plan a query without executing it (the ``EXPLAIN`` entry point)."""
-        return self.planner.plan(table_name, self._as_conjunctive(query))
+        with self.epochs.read():
+            return self.planner.plan(table_name, self._as_conjunctive(query))
 
     def planner_cache_info(self) -> "dict[str, PlannerCacheStats]":
         """Per-table plan-cache counters (see :meth:`Planner.table_cache_info`)."""
@@ -757,17 +775,19 @@ class Database:
     def memory_report(self, table_name: str | None = None) -> MemoryReport:
         """Memory breakdown: table, primary index, existing and new indexes."""
         report = MemoryReport()
-        for entry in self.catalog.tables():
-            if table_name is not None and entry.name != table_name:
-                continue
-            report.add("table", entry.table.memory_bytes())
-            report.add("primary_index", entry.primary_index.memory_bytes())
-            for index_entry in entry.indexes.values():
-                label = ("existing_indexes" if index_entry.is_preexisting
-                         else "new_indexes")
-                report.add(label, index_entry.mechanism.memory_bytes())
+        with self.epochs.read():
+            for entry in self.catalog.tables():
+                if table_name is not None and entry.name != table_name:
+                    continue
+                report.add("table", entry.table.memory_bytes())
+                report.add("primary_index", entry.primary_index.memory_bytes())
+                for index_entry in entry.indexes.values():
+                    label = ("existing_indexes" if index_entry.is_preexisting
+                             else "new_indexes")
+                    report.add(label, index_entry.mechanism.memory_bytes())
         return report
 
     def table(self, table_name: str) -> Table:
         """Return the table object registered under ``table_name``."""
-        return self.catalog.table_entry(table_name).table
+        with self.epochs.read():
+            return self.catalog.table_entry(table_name).table

@@ -40,15 +40,49 @@ between table and catalog mutations — is real.
 
 from __future__ import annotations
 
+import itertools
 import threading
+import traceback
 from contextlib import contextmanager
 from typing import Iterator
 
-from repro.errors import ConcurrencyError
+from repro.errors import ConcurrencyError, EpochDisciplineError
+
+# Managers (in acquisition order) the current thread holds a side of.
+# Module-level because lock-order inversions are by definition a property
+# of *several* managers; maintained only in debug mode.
+_held = threading.local()
+
+
+def _held_managers() -> "list[EpochManager]":
+    managers = getattr(_held, "managers", None)
+    if managers is None:
+        managers = []
+        _held.managers = managers
+    return managers
+
+
+def _acquisition_stack() -> str:
+    """The caller's stack, trimmed of the checker's own frames."""
+    return "".join(traceback.format_stack()[:-3]).rstrip()
 
 
 class EpochManager:
     """Reentrant reader-writer lock with a monotonic write-epoch counter.
+
+    Args:
+        debug: Switch on the epoch-lock discipline checker.  In debug mode
+            the manager records the acquisition stack of every outermost
+            read/write, :meth:`note_mutation` raises
+            :class:`~repro.errors.EpochDisciplineError` on mutations
+            reachable from the shared side (or from no side at all),
+            upgrade attempts report the stack that took the read side, and
+            outermost acquisitions are checked for lock-order inversions
+            against every other debug manager the thread already holds.
+            Costs a few dict operations per outermost acquisition; the
+            default (``False``) stays on the lean path.
+        name: Optional label used in discipline reports; defaults to a
+            per-process sequence number.
 
     Attributes:
         current: The number of committed write epochs so far.  Reading it
@@ -59,7 +93,13 @@ class EpochManager:
             :meth:`write`.
     """
 
-    def __init__(self) -> None:
+    _sequence = itertools.count(1)
+    # Directed acquired-before edges between debug managers, shared
+    # process-wide: (id(first), id(second)) -> human-readable evidence.
+    _order_lock = threading.Lock()
+    _order_edges: "dict[tuple[int, int], str]" = {}
+
+    def __init__(self, debug: bool = False, name: str | None = None) -> None:
         self._cond = threading.Condition()
         self._active_readers = 0
         self._waiting_writers = 0
@@ -67,6 +107,13 @@ class EpochManager:
         self._writer_depth = 0
         self._epoch = 0
         self._local = threading.local()
+        self._debug = debug
+        self.name = name or f"epochs-{next(self._sequence)}"
+
+    @property
+    def debug(self) -> bool:
+        """Whether the discipline checker is on."""
+        return self._debug
 
     @property
     def current(self) -> int:
@@ -86,19 +133,26 @@ class EpochManager:
         """
         me = threading.get_ident()
         depth = self._read_depth()
+        fresh = depth == 0 and self._writer != me
+        if self._debug and fresh:
+            self._debug_check_order()
         with self._cond:
-            if depth == 0 and self._writer != me:
+            if fresh:
                 while self._writer is not None or self._waiting_writers:
                     self._cond.wait()
                 self._active_readers += 1
             self._local.read_depth = depth + 1
             epoch = self._epoch
+        if self._debug and fresh:
+            self._debug_acquired("read")
         try:
             yield epoch
         finally:
+            if self._debug and fresh:
+                self._debug_released()
             with self._cond:
                 self._local.read_depth = depth
-                if depth == 0 and self._writer != me:
+                if fresh:
                     self._active_readers -= 1
                     if self._active_readers == 0:
                         self._cond.notify_all()
@@ -113,15 +167,27 @@ class EpochManager:
         holds the read side — the upgrade would deadlock against itself.
         """
         me = threading.get_ident()
+        fresh = False
+        if self._writer != me:
+            if self._read_depth():
+                message = ("cannot acquire the write side while holding "
+                           "the read side (read-to-write upgrade would "
+                           "deadlock)")
+                if self._debug:
+                    held_at = getattr(self._local, "read_stack",
+                                      "<stack not recorded>")
+                    raise EpochDisciplineError(
+                        f"[{self.name}] {message}\n"
+                        f"read side acquired at:\n{held_at}"
+                    )
+                raise ConcurrencyError(message)
+            fresh = True
+            if self._debug:
+                self._debug_check_order()
         with self._cond:
             if self._writer == me:
                 self._writer_depth += 1
             else:
-                if self._read_depth():
-                    raise ConcurrencyError(
-                        "cannot acquire the write side while holding the "
-                        "read side (read-to-write upgrade would deadlock)"
-                    )
                 self._waiting_writers += 1
                 try:
                     while self._writer is not None or self._active_readers:
@@ -131,12 +197,98 @@ class EpochManager:
                 self._writer = me
                 self._writer_depth = 1
             epoch = self._epoch + 1
+        if self._debug and fresh:
+            self._debug_acquired("write")
         try:
             yield epoch
         finally:
+            if self._debug and fresh:
+                self._debug_released()
             with self._cond:
                 self._writer_depth -= 1
                 if self._writer_depth == 0:
                     self._writer = None
                     self._epoch += 1
                     self._cond.notify_all()
+
+    # --------------------------------------------- discipline checker (debug)
+
+    def note_mutation(self, label: str) -> None:
+        """Assert the calling thread may mutate engine state *right now*.
+
+        The engine's mutation points (the catalog's ``epoch_guard`` hook,
+        wired by ``Database``) call this with a short label.  A no-op
+        unless the manager is in debug mode; in debug mode it raises
+        :class:`~repro.errors.EpochDisciplineError` when the thread holds
+        the shared side but not the exclusive side (a shared-side write —
+        concurrent readers may be observing the half-applied mutation) or
+        holds nothing at all (an unlocked mutation).
+        """
+        if not self._debug:
+            return
+        if self._writer == threading.get_ident():
+            return
+        if self._read_depth():
+            held_at = getattr(self._local, "read_stack",
+                              "<stack not recorded>")
+            raise EpochDisciplineError(
+                f"[{self.name}] mutation {label!r} under the shared (read) "
+                f"side — concurrent readers may observe it half-applied\n"
+                f"read side acquired at:\n{held_at}"
+            )
+        raise EpochDisciplineError(
+            f"[{self.name}] mutation {label!r} without holding the write "
+            f"side of the epoch protocol"
+        )
+
+    def _debug_check_order(self) -> None:
+        """Record acquired-before edges; raise on an inversion.
+
+        Called before an outermost acquisition while already holding other
+        debug managers.  Two managers taken in both orders by different
+        code paths is a deadlock waiting for the right interleaving, so
+        the *potential* is reported even when this particular run would
+        have survived.
+        """
+        holding = _held_managers()
+        if not holding:
+            return
+        with EpochManager._order_lock:
+            for other in holding:
+                if other is self:
+                    continue
+                reverse = (id(self), id(other))
+                if reverse in EpochManager._order_edges:
+                    raise EpochDisciplineError(
+                        f"lock-order inversion: acquiring [{self.name}] "
+                        f"while holding [{other.name}], but the opposite "
+                        f"order was taken at:\n"
+                        f"{EpochManager._order_edges[reverse]}"
+                    )
+                edge = (id(other), id(self))
+                if edge not in EpochManager._order_edges:
+                    EpochManager._order_edges[edge] = (
+                        f"[{other.name}] then [{self.name}] via:\n"
+                        + _acquisition_stack()
+                    )
+
+    def _debug_acquired(self, side: str) -> None:
+        stack = _acquisition_stack()
+        if side == "read":
+            self._local.read_stack = stack
+        else:
+            self._local.write_stack = stack
+        _held_managers().append(self)
+
+    def _debug_released(self) -> None:
+        managers = _held_managers()
+        for position in range(len(managers) - 1, -1, -1):
+            if managers[position] is self:
+                del managers[position]
+                break
+
+    @classmethod
+    def reset_order_tracking(cls) -> None:
+        """Forget recorded acquired-before edges (test isolation)."""
+        with cls._order_lock:
+            cls._order_edges.clear()

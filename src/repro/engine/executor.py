@@ -15,6 +15,9 @@ correctness tests' reference semantics, and :func:`choose_index` is the cost
 model's default-statistics ranking in miniature.
 """
 
+# repro: hot-module
+# (repro.analysis REP004: no per-element Python loops over arrays here)
+
 from __future__ import annotations
 
 import time

@@ -69,6 +69,17 @@ class ConcurrencyError(ReproError):
     deadlock against itself)."""
 
 
+class EpochDisciplineError(ConcurrencyError):
+    """The epoch-lock discipline checker detected a protocol violation.
+
+    Raised only by ``EpochManager(debug=True)`` (plus the always-on upgrade
+    guard): a mutation on the shared side or without any side held, a
+    read-to-write upgrade attempt, or a lock-order inversion between two
+    managers.  The message carries the acquisition stack(s) involved.
+    Subclasses :class:`ConcurrencyError` so callers that already handle the
+    protocol's rejections keep working with the checker switched on."""
+
+
 class ServingError(ReproError):
     """The serving front end rejected a request (server closed, ...)."""
 

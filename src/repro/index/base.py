@@ -156,6 +156,8 @@ class Index(abc.ABC):
     def range_search_many(self, ranges: Sequence[KeyRange]) -> list[TupleId]:
         """Union of :meth:`range_search` over several ranges."""
         results: list[TupleId] = []
+        # repro: ignore[REP004] -- documented per-range fallback of the
+        # abstract base; array-native indexes override with one pass
         for key_range in ranges:
             results.extend(self.range_search(key_range))
         return results
@@ -169,6 +171,8 @@ class Index(abc.ABC):
         indexes override it with a single-pass implementation.
         """
         flat: list[TupleId] = []
+        # repro: ignore[REP004] -- documented per-key fallback of the
+        # abstract base; hash and sorted indexes override with one pass
         for key in keys:
             flat.extend(self.search(float(key)))
         if not flat:
@@ -250,6 +254,8 @@ class Index(abc.ABC):
         sort-once merge so bulk writes cost one pass instead of one descent
         per key.
         """
+        # repro: ignore[REP004] -- documented per-pair fallback of the
+        # abstract base; array-native indexes override with a sorted merge
         for key, tid in zip(keys, tid_items(tids)):
             self.insert(float(key), tid)
 

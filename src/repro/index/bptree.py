@@ -292,6 +292,8 @@ class BPlusTree(Index):
         keys = [float(key) for key in keys]
         self.stats.lookups += len(keys)
         runs: list[list[TupleId]] = []
+        # repro: ignore[REP004] -- per-key descent is the tree's point-probe
+        # primitive; the flat-view batch path is search_many_segmented
         for key in keys:
             leaf = self._find_leaf(key)
             index = bisect.bisect_left(leaf.keys, key)
@@ -322,6 +324,8 @@ class BPlusTree(Index):
             segments: list[list[TupleId]] = []
             offsets = np.zeros(count + 1, dtype=np.int64)
             total = 0
+            # repro: ignore[REP004] -- documented scalar fallback while the
+            # flat-view debt counter says a cold flatten would cost more
             for position, key_range in enumerate(ranges):
                 flat = self._range_tids(key_range.low, key_range.high)
                 segments.append(flat)
@@ -370,6 +374,8 @@ class BPlusTree(Index):
             runs: list[list[TupleId]] = []
             per_key = np.zeros(keys.size + 1, dtype=np.int64)
             total = 0
+            # repro: ignore[REP004] -- documented scalar fallback while the
+            # flat-view debt counter says a cold flatten would cost more
             for position, key in enumerate(keys.tolist()):
                 leaf = self._find_leaf(key)
                 index = bisect.bisect_left(leaf.keys, key)

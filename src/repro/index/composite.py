@@ -111,6 +111,8 @@ class CompositeIndex:
                           second_ranges: list[KeyRange]) -> list[TupleId]:
         """Union of :meth:`range_search` over several second-key ranges."""
         results: list[TupleId] = []
+        # repro: ignore[REP004] -- per-conjunct union over the handful of
+        # second-key ranges a plan carries, not per-element work
         for second_range in second_ranges:
             results.extend(self.range_search(leading_range, second_range))
         return results

@@ -63,6 +63,8 @@ class HashIndex(Index):
         run_stops = np.concatenate([run_starts[1:], [count]])
         positions = order.tolist()
         buckets = self._buckets
+        # repro: ignore[REP004] -- iterates distinct-key runs, not elements;
+        # bucket dicts have no array form to extend in one pass
         for start, stop in zip(run_starts.tolist(), run_stops.tolist()):
             buckets[float(sorted_keys[start])].extend(
                 items[positions[index]] for index in range(start, stop)

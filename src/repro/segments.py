@@ -17,6 +17,9 @@ The module sits at the bottom of the layer stack (alongside ``errors``) so
 the index structures, the mechanisms and the engine can all share it.
 """
 
+# repro: hot-module
+# (repro.analysis REP004: no per-element Python loops over arrays here)
+
 from __future__ import annotations
 
 from typing import Sequence

@@ -240,7 +240,8 @@ class Server:
     """
 
     def __init__(self, database: Database,
-                 config: ServerConfig = ServerConfig()) -> None:
+                 config: ServerConfig | None = None) -> None:
+        config = config if config is not None else ServerConfig()
         self.database = database
         self.config = config
         self._window = config.initial_window

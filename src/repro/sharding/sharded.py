@@ -273,17 +273,17 @@ class ShardedDatabase:
         Returns ``None`` rather than an ``IndexEntry`` — the entries live
         shard-side.
         """
-        payload = dict(name=name, table_name=table_name, column=column,
-                       **kwargs)
+        payload = {"name": name, "table_name": table_name, "column": column,
+                   **kwargs}
         self._broadcast("create_index", payload)
 
     def create_composite_index(self, name: str, table_name: str,
                                leading_column: str, second_column: str,
                                **kwargs: Any) -> None:
         """Create a composite secondary index on every shard."""
-        payload = dict(name=name, table_name=table_name,
-                       leading_column=leading_column,
-                       second_column=second_column, **kwargs)
+        payload = {"name": name, "table_name": table_name,
+                   "leading_column": leading_column,
+                   "second_column": second_column, **kwargs}
         self._broadcast("create_composite_index", payload)
 
     def drop_index(self, table_name: str, index_name: str) -> None:

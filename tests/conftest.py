@@ -33,6 +33,14 @@ def pytest_configure(config):
         "equivalence); CI runs them as a dedicated step (select with "
         "'-m serving')",
     )
+    config.addinivalue_line(
+        "markers",
+        "epoch_discipline: race-detection tests seeding epoch-protocol "
+        "violations (shared-side writes, upgrade attempts, lock-order "
+        "inversions) and asserting EpochManager(debug=True) catches each "
+        "one; CI runs them in the analysis job (select with "
+        "'-m epoch_discipline')",
+    )
 
 from repro.engine.catalog import IndexMethod
 from repro.engine.database import Database

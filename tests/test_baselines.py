@@ -39,7 +39,7 @@ def primary_and_host(table, scheme):
 
 def brute_force(table, low, high):
     slots, targets = table.project(["target"])
-    return set(int(s) for s in slots[(targets >= low) & (targets <= high)])
+    return {int(s) for s in slots[(targets >= low) & (targets <= high)]}
 
 
 class TestBaselineSecondaryIndex:

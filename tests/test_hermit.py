@@ -31,9 +31,9 @@ def make_table(count=2000, seed=0, noise_fraction=0.02):
     return table
 
 
-def build_hermit(table, pointer_scheme=PointerScheme.PHYSICAL,
-                 config=TRSTreeConfig()):
+def build_hermit(table, pointer_scheme=PointerScheme.PHYSICAL, config=None):
     """Construct host and primary indexes plus a Hermit index on ``target``."""
+    config = config if config is not None else TRSTreeConfig()
     primary = BPlusTree()
     host_index = BPlusTree()
     slots, pks, hosts = table.project(["pk", "host"])
@@ -52,7 +52,7 @@ def build_hermit(table, pointer_scheme=PointerScheme.PHYSICAL,
 def brute_force(table, low, high):
     slots, targets = table.project(["target"])
     mask = (targets >= low) & (targets <= high)
-    return set(int(s) for s in slots[mask])
+    return {int(s) for s in slots[mask]}
 
 
 class TestLookup:

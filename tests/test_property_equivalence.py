@@ -69,7 +69,7 @@ def build_mechanisms(table: Table, scheme: PointerScheme):
 def brute_force(table: Table, low: float, high: float) -> set[int]:
     slots, targets = table.project(["target"])
     mask = (targets >= low) & (targets <= high)
-    return set(int(s) for s in slots[mask])
+    return {int(s) for s in slots[mask]}
 
 
 correlated_data = st.lists(
@@ -200,7 +200,7 @@ class TestMaintenanceEquivalence:
         hermit, baseline, _ = build_mechanisms(table, PointerScheme.PHYSICAL)
         host_index = hermit.host_index
         next_pk = 10_000.0
-        live = list(int(s) for s in table.live_slots())
+        live = [int(s) for s in table.live_slots()]
 
         for action, target_value, host_value in operations:
             if action == "insert":

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
 
 import numpy as np
 import pytest
@@ -30,7 +31,12 @@ from hypothesis import strategies as st
 from repro.engine.catalog import IndexMethod
 from repro.engine.database import Database
 from repro.engine.query import QueryRequest, QueryResult, RangePredicate
-from repro.errors import ConcurrencyError, ConfigurationError, ServingError
+from repro.errors import (
+    CatalogError,
+    ConcurrencyError,
+    ConfigurationError,
+    ServingError,
+)
 from repro.engine.epochs import EpochManager
 from repro.serving import RequestFuture, Server, ServerConfig
 from repro.storage.schema import numeric_schema
@@ -282,7 +288,7 @@ class TestServerEquivalence:
             future = server.submit(QueryRequest.point("no_such_table",
                                                       "target", 1.0))
             assert future.exception(timeout=30.0) is not None
-            with pytest.raises(Exception):
+            with pytest.raises(CatalogError):
                 future.result(timeout=30.0)
 
     def test_requests_coalesce_into_shared_plan_groups(self):
@@ -377,7 +383,7 @@ class TestRequestFuture:
 
     def test_timeout_raises(self):
         future = RequestFuture()
-        with pytest.raises(Exception):
+        with pytest.raises(FutureTimeoutError):
             future.result(timeout=0.01)
 
     def test_error_resolution(self):

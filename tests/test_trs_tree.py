@@ -24,8 +24,8 @@ def linear_data(count=2000, noise_positions=(), seed=0):
 
 
 def brute_force(targets, predicate: KeyRange):
-    return set(int(i) for i in np.flatnonzero(
-        (targets >= predicate.low) & (targets <= predicate.high)))
+    return {int(i) for i in np.flatnonzero(
+        (targets >= predicate.low) & (targets <= predicate.high))}
 
 
 def hermit_style_answer(tree: TRSTree, hosts, targets, predicate: KeyRange):
