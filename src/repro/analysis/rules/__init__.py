@@ -9,6 +9,7 @@ from repro.analysis.rules.durability_order import DurabilityOrdering
 from repro.analysis.rules.epoch_static import EpochDiscipline
 from repro.analysis.rules.flat_view import FlatViewInvalidation
 from repro.analysis.rules.hot_path import HotPathPurity
+from repro.analysis.rules.result_cache_discipline import ResultCacheDiscipline
 from repro.analysis.rules.sharding_protocol import ShardingProtocolHygiene
 
 __all__ = [
@@ -17,5 +18,6 @@ __all__ = [
     "EpochDiscipline",
     "FlatViewInvalidation",
     "HotPathPurity",
+    "ResultCacheDiscipline",
     "ShardingProtocolHygiene",
 ]

@@ -1,0 +1,26 @@
+"""Epoch-keyed query result caching.
+
+The serving-layer complement of the planner's plan cache: where the plan
+cache amortises *planning*, :class:`~repro.cache.result_cache.ResultCache`
+amortises *execution* for repeated hot queries by remembering the final
+post-validation location arrays, keyed on the canonicalised query and
+validated against the owning table's committed write epoch
+(``TableEntry.data_epoch``).  See ``docs/architecture.md`` ("Result
+cache") for the invalidation discipline and the memory budget.
+"""
+
+from repro.cache.result_cache import (
+    ResultCache,
+    ResultCacheConfig,
+    ResultCacheStats,
+    ResultCacheTableStats,
+    canonical_key,
+)
+
+__all__ = [
+    "ResultCache",
+    "ResultCacheConfig",
+    "ResultCacheStats",
+    "ResultCacheTableStats",
+    "canonical_key",
+]

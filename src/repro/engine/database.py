@@ -47,6 +47,13 @@ import numpy as np
 
 from repro.baselines.correlation_maps import CorrelationMap
 from repro.baselines.secondary import BaselineSecondaryIndex
+from repro.cache.result_cache import (
+    ResultCache,
+    ResultCacheConfig,
+    ResultCacheStats,
+    canonical_key,
+)
+from repro.core.hermit import LookupBreakdown
 from repro.core.config import DEFAULT_CONFIG, TRSTreeConfig
 from repro.core.hermit import HermitIndex
 from repro.correlation.advisor import HostColumnAdvisor
@@ -104,6 +111,16 @@ class Database:
             :func:`repro.durability.recovery.recover` to reopen one.  The
             default (``None``) keeps the engine purely in memory at zero
             added cost.
+        result_cache: When given, an epoch-keyed result cache
+            (``repro.cache``) with this memory budget serves repeated
+            queries from their stored post-validation location arrays:
+            ``execute`` / ``execute_many`` probe it under the shared epoch
+            side before planning, fill it on miss, and entries whose
+            stamped ``data_epoch`` fell behind the table's are evicted on
+            probe (plus a sweep on :meth:`checkpoint`).  The default
+            (``None``) keeps the read path exactly as before — opt-in
+            like durability, because caching repeated requests changes
+            what throughput benchmarks measure.
         epoch_debug: Switch on the epoch-lock discipline checker
             (``EpochManager(debug=True)``): catalog mutations outside the
             exclusive side, upgrade attempts and lock-order inversions
@@ -118,6 +135,7 @@ class Database:
                  advisor: HostColumnAdvisor | None = None,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
                  durability: DurabilityConfig | None = None,
+                 result_cache: ResultCacheConfig | None = None,
                  epoch_debug: bool = False) -> None:
         self.pointer_scheme = pointer_scheme
         self.trs_config = trs_config
@@ -132,6 +150,9 @@ class Database:
         self.planner = Planner(self.catalog, pointer_scheme, cost_model)
         self._durability: DurabilityManager | None = (
             DurabilityManager(durability) if durability is not None else None
+        )
+        self._result_cache: ResultCache | None = (
+            ResultCache(result_cache) if result_cache is not None else None
         )
 
     # ------------------------------------------------------------------ DDL
@@ -530,7 +551,16 @@ class Database:
         # shared side excludes writers without blocking other reads (and
         # is reentrant under the write side for auto-checkpoints).
         with self.epochs.read():
-            return self._durability.checkpoint(self)
+            lsn = self._durability.checkpoint(self)
+            if self._result_cache is not None:
+                # Piggyback the result cache's stale sweep on the
+                # checkpoint's full walk: lazily-invalidated entries that
+                # no probe revisits stop squatting in the byte budget.
+                self._result_cache.sweep({
+                    entry.name: entry.data_epoch
+                    for entry in self.catalog.tables()
+                })
+            return lsn
 
     def flush_wal(self) -> None:
         """Force the WAL to stable storage (no-op when durability is off)."""
@@ -573,16 +603,71 @@ class Database:
         returned result records.  Results come back aligned with the input
         (mixed-table batches are fine; order within the batch is
         preserved).
+
+        With a result cache enabled, each table's requests are first
+        probed in one batch (:meth:`ResultCache.get_many`) against the
+        ``data_epoch`` read under the held shared side; only the misses
+        are planned and executed, and their final arrays are installed in
+        one batch fill afterwards.  Cache-hit results carry the stored
+        *read-only* int64 array as ``locations`` (misses keep returning
+        fresh lists) — hits must stay allocation-free to be worth taking.
         """
         requests = list(requests)
         results: list[QueryResult | None] = [None] * len(requests)
         by_table: dict[str, list[int]] = {}
         for position, request in enumerate(requests):
             by_table.setdefault(request.table, []).append(position)
+        cache = self._result_cache
+        probing = cache is not None and cache.enabled
         with self.epochs.read() as epoch:
             for table_name, positions in by_table.items():
                 entry = self.catalog.table_entry(table_name)
-                conjunctives = [requests[p].query for p in positions]
+                # Partition the table's requests into cache hits (answered
+                # from their stored arrays) and misses; only the misses go
+                # through plan_many + the segmented executor, and the hits
+                # are spliced back in input order via the shared results
+                # list.  data_epoch cannot move while the shared side is
+                # held, so one read before the loop covers every probe.
+                misses = positions
+                miss_keys: list = []
+                fills: list = []
+                if probing:
+                    misses = []
+                    data_epoch = entry.data_epoch
+                    keys = [canonical_key(requests[p].query)
+                            for p in positions]
+                    entries = cache.get_many(table_name, keys, data_epoch)
+                    # All hits in the batch share one breakdown object,
+                    # exactly like the members of a plan group share
+                    # theirs: one cache probe pass answered them all.
+                    hit_count = sum(e is not None for e in entries)
+                    if hit_count == 0:
+                        # All-miss batch (cold cache, uniform traffic):
+                        # skip the splice loop and reuse the probe lists
+                        # as-is — this keeps the pure miss path nearly
+                        # allocation-free on top of the uncached path.
+                        misses = positions
+                        miss_keys = keys
+                    else:
+                        hit_breakdown = LookupBreakdown(lookups=hit_count)
+                        for position, key, hit in zip(positions, keys,
+                                                      entries):
+                            if hit is None:
+                                misses.append(position)
+                                miss_keys.append(key)
+                                continue
+                            count = int(hit.locations.size)
+                            hit_breakdown.candidates += count
+                            hit_breakdown.results += count
+                            results[position] = QueryResult(
+                                locations=hit.locations,
+                                breakdown=hit_breakdown,
+                                used_index=hit.used_index, plan=None,
+                                group_size=hit_count, epoch=epoch,
+                            )
+                        if not misses:
+                            continue
+                conjunctives = [requests[p].query for p in misses]
                 for group in self.planner.plan_many(table_name, conjunctives):
                     locations_per_query, breakdown = execute_plan_many(
                         group.plan, group.merged_list, entry,
@@ -592,11 +677,18 @@ class Database:
                     group_size = len(group.indices)
                     for member, locations in zip(group.indices,
                                                  locations_per_query):
-                        results[positions[member]] = QueryResult(
+                        position = misses[member]
+                        results[position] = QueryResult(
                             locations=locations.tolist(), breakdown=breakdown,
                             used_index=used_index, plan=group.plan,
                             group_size=group_size, epoch=epoch,
                         )
+                        if miss_keys:
+                            key = miss_keys[member]
+                            if key is not None:
+                                fills.append((key, locations, used_index))
+                if fills:
+                    cache.put_many(table_name, fills, entry.data_epoch)
         return results
 
     def query(self, table_name: str, predicate: RangePredicate) -> QueryResult:
@@ -647,11 +739,29 @@ class Database:
             int64 array and whose ``plan`` explains the chosen paths.
         """
         query = self._as_conjunctive(query)
+        cache = self._result_cache
         with self.epochs.read() as epoch:
             entry = self.catalog.table_entry(table_name)
+            key = (canonical_key(query)
+                   if cache is not None and cache.enabled else None)
+            if key is not None:
+                hit = cache.get(table_name, key, entry.data_epoch)
+                if hit is not None:
+                    count = int(hit.locations.size)
+                    return PlannedQueryResult(
+                        locations=hit.locations,
+                        breakdown=LookupBreakdown(
+                            lookups=1, candidates=count, results=count),
+                        plan=self._cached_marker_plan(table_name, query,
+                                                      hit.used_index),
+                        epoch=epoch,
+                    )
             plan = self.planner.plan(table_name, query)
             result = execute_plan(plan, entry, self.pointer_scheme,
                                   entry.primary_index)
+            if key is not None:
+                cache.put(table_name, key, result.locations,
+                          entry.data_epoch, plan.used_index)
         result.epoch = epoch
         return result
 
@@ -697,9 +807,57 @@ class Database:
     def explain(self, table_name: str,
                 query: "ConjunctiveQuery | Sequence[RangePredicate] | RangePredicate",
     ) -> Plan:
-        """Plan a query without executing it (the ``EXPLAIN`` entry point)."""
+        """Plan a query without executing it (the ``EXPLAIN`` entry point).
+
+        When the query would currently be answered from the result cache,
+        the returned plan is the plan-free ``cached`` marker instead of a
+        freshly planned pipeline (``Plan.cached`` is ``True`` and
+        ``describe()`` says so); the peek is non-destructive, so explain
+        never perturbs hit/miss counters or the LRU order.
+        """
+        query = self._as_conjunctive(query)
+        cache = self._result_cache
         with self.epochs.read():
-            return self.planner.plan(table_name, self._as_conjunctive(query))
+            if cache is not None and cache.enabled:
+                key = canonical_key(query)
+                if key is not None:
+                    entry = self.catalog.table_entry(table_name)
+                    hit = cache.peek(table_name, key, entry.data_epoch)
+                    if hit is not None:
+                        return self._cached_marker_plan(table_name, query,
+                                                        hit.used_index)
+            return self.planner.plan(table_name, query)
+
+    @staticmethod
+    def _cached_marker_plan(table_name: str, query: ConjunctiveQuery,
+                            used_index: str | None) -> Plan:
+        """The plan-free marker attached to cache-served results."""
+        return Plan(table_name=table_name, query=query,
+                    merged=query.merged() or {}, cached=True,
+                    cached_used_index=used_index)
+
+    # ------------------------------------------------------- result cache
+
+    @property
+    def result_cache(self) -> ResultCache | None:
+        """The attached result cache, or ``None`` when disabled."""
+        return self._result_cache
+
+    def result_cache_info(self) -> ResultCacheStats:
+        """Result-cache counters; ``enabled=False`` when none is attached."""
+        if self._result_cache is None:
+            return ResultCacheStats(enabled=False)
+        return self._result_cache.info()
+
+    def result_cache_clear(self) -> None:
+        """Drop all cached results (mirrors :meth:`planner_cache_clear`).
+
+        A no-op without an attached cache.  Counters survive, so tests and
+        benchmarks can clear between phases while keeping cumulative
+        hit/miss accounting.
+        """
+        if self._result_cache is not None:
+            self._result_cache.clear()
 
     def planner_cache_info(self) -> "dict[str, PlannerCacheStats]":
         """Per-table plan-cache counters (see :meth:`Planner.table_cache_info`)."""

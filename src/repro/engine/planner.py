@@ -79,10 +79,19 @@ class Plan:
     # unsatisfiable ones) — the observability hook ``Database.explain``
     # surfaces, so a workload can verify its plans actually amortise.
     cache_stats: "PlannerCacheStats | None" = None
+    # Marker for queries served by the epoch-keyed result cache
+    # (``repro.cache``): a cached "plan" has no paths — the stored location
+    # array is returned without planning or execution — but still reports
+    # the index that populated the entry.  ``Database.explain`` returns one
+    # when the query would currently be answered from cache.
+    cached: bool = False
+    cached_used_index: str | None = None
 
     @property
     def used_index(self) -> str | None:
         """Name of the driver path's index, or None for a full scan."""
+        if self.cached:
+            return self.cached_used_index
         for path in self.paths:
             entry = getattr(path, "entry", None)
             if entry is not None:
@@ -96,6 +105,12 @@ class Plan:
 
     def describe(self) -> str:
         """Multi-line plan explanation (the ``EXPLAIN`` output)."""
+        if self.cached:
+            via = (f"index {self.cached_used_index!r}"
+                   if self.cached_used_index is not None else "a full scan")
+            return (f"plan for {self.table_name}: result cache hit — the "
+                    f"stored locations (populated via {via}) are returned "
+                    f"without planning or execution")
         if self.unsatisfiable:
             return (f"plan for {self.table_name}: unsatisfiable "
                     f"(contradictory predicates)")

@@ -54,6 +54,7 @@ from dataclasses import dataclass
 from dataclasses import field as dataclasses_field
 from typing import Callable
 
+from repro.cache.result_cache import ResultCacheStats
 from repro.engine.database import Database
 from repro.engine.planner import PlannerCacheStats
 from repro.engine.query import QueryRequest, QueryResult
@@ -207,6 +208,10 @@ class ServerStats:
             with ``requests / batches`` this shows the two halves of
             coalescing (fewer planner visits, bigger execution batches).
         plan_cache_per_table: The same counters split per table.
+        result_cache: The engine's result-cache counters (hits, misses,
+            stale/LRU evictions, bytes, per-table breakdown); reported
+            with ``enabled=False`` when the served database runs without a
+            result cache.
     """
 
     requests: int = 0
@@ -217,6 +222,8 @@ class ServerStats:
     plan_cache: PlannerCacheStats = PlannerCacheStats()
     plan_cache_per_table: "dict[str, PlannerCacheStats]" = dataclasses_field(
         default_factory=dict)
+    result_cache: ResultCacheStats = dataclasses_field(
+        default_factory=ResultCacheStats)
 
     @property
     def mean_batch(self) -> float:
@@ -332,6 +339,7 @@ class Server:
             window=self._window,
             plan_cache=self.database.planner_cache_stats(),
             plan_cache_per_table=self.database.planner_cache_info(),
+            result_cache=self.database.result_cache_info(),
         )
 
     def close(self) -> None:

@@ -54,6 +54,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.cache.result_cache import ResultCacheConfig, ResultCacheStats
 from repro.core.config import DEFAULT_CONFIG, TRSTreeConfig
 from repro.core.hermit import LookupBreakdown
 from repro.engine.access_path import DEFAULT_COST_MODEL, CostModel
@@ -92,9 +93,11 @@ class _InlineShard:
     """
 
     def __init__(self, pointer_scheme: PointerScheme,
-                 trs_config: TRSTreeConfig, cost_model: CostModel) -> None:
+                 trs_config: TRSTreeConfig, cost_model: CostModel,
+                 result_cache: "ResultCacheConfig | None" = None) -> None:
         self.database = Database(pointer_scheme=pointer_scheme,
-                                 trs_config=trs_config, cost_model=cost_model)
+                                 trs_config=trs_config, cost_model=cost_model,
+                                 result_cache=result_cache)
         self._replies: list[tuple[str, Any]] = []
 
     def send(self, command: str, payload: Any) -> None:
@@ -115,12 +118,14 @@ class _ProcessShard:
     """One worker process per shard, spoken to over a duplex pipe."""
 
     def __init__(self, pointer_scheme: PointerScheme,
-                 trs_config: TRSTreeConfig, cost_model: CostModel) -> None:
+                 trs_config: TRSTreeConfig, cost_model: CostModel,
+                 result_cache: "ResultCacheConfig | None" = None) -> None:
         context = multiprocessing.get_context()
         self._connection, child = context.Pipe()
         self._process = context.Process(
             target=shard_worker_main,
-            args=(child, pointer_scheme, trs_config, cost_model),
+            args=(child, pointer_scheme, trs_config, cost_model,
+                  result_cache),
             daemon=True,
         )
         self._process.start()
@@ -156,12 +161,18 @@ class ShardedDatabase:
         pointer_scheme: Forwarded to every shard database.
         trs_config: Forwarded to every shard database.
         cost_model: Forwarded to every shard database.
+        result_cache: Forwarded to every shard database — each shard runs
+            its own epoch-keyed result cache over its partition (the
+            budget is per shard), and :meth:`result_cache_info` reports
+            the counters merged across shards, so ``serving.Server``
+            observes one composed cache.
     """
 
     def __init__(self, num_shards: int = 4, mode: str = "process",
                  pointer_scheme: PointerScheme = PointerScheme.PHYSICAL,
                  trs_config: TRSTreeConfig = DEFAULT_CONFIG,
-                 cost_model: CostModel = DEFAULT_COST_MODEL) -> None:
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 result_cache: "ResultCacheConfig | None" = None) -> None:
         if num_shards < 1:
             raise ConfigurationError("num_shards must be >= 1")
         if mode not in ("process", "inline"):
@@ -171,7 +182,8 @@ class ShardedDatabase:
         self.mode = mode
         self.pointer_scheme = pointer_scheme
         shard_class = _ProcessShard if mode == "process" else _InlineShard
-        self._shards = [shard_class(pointer_scheme, trs_config, cost_model)
+        self._shards = [shard_class(pointer_scheme, trs_config, cost_model,
+                                    result_cache)
                         for _ in range(num_shards)]
         self._schemas: dict[str, TableSchema] = {}
         self._boundaries: dict[str, np.ndarray] = {}
@@ -454,6 +466,23 @@ class ShardedDatabase:
                                           replays=replays)
             for table_name, (hits, misses, replays) in sorted(totals.items())
         }
+
+    def result_cache_info(self) -> ResultCacheStats:
+        """Result-cache counters merged across every shard's cache.
+
+        Counters, entries and bytes sum; ``enabled`` is true when any
+        shard probes (all shards share one construction-time config, so
+        they agree in practice).  The same surface
+        :meth:`Database.result_cache_info` offers, which is what lets
+        ``serving.Server`` report result-cache stats for a sharded
+        backend unchanged.
+        """
+        return ResultCacheStats.merge(
+            self._broadcast("result_cache_info", None))
+
+    def result_cache_clear(self) -> None:
+        """Drop every shard's cached results (counters survive)."""
+        self._broadcast("result_cache_clear", None)
 
     def num_rows(self, table_name: str) -> int:
         """Total live rows across shards."""

@@ -103,14 +103,19 @@ def dispatch_command(database: Database, command: str, payload: Any) -> Any:
         return database.catalog.table_entry(payload).table.num_rows
     if command == "planner_info":
         return (database.planner_cache_stats(), database.planner_cache_info())
+    if command == "result_cache_info":
+        return database.result_cache_info()
+    if command == "result_cache_clear":
+        database.result_cache_clear()
+        return None
     raise ValueError(f"unknown shard command {command!r}")
 
 
 def shard_worker_main(connection, pointer_scheme, trs_config,
-                      cost_model) -> None:
+                      cost_model, result_cache=None) -> None:
     """Process entry point: serve protocol commands until ``close``/EOF."""
     database = Database(pointer_scheme=pointer_scheme, trs_config=trs_config,
-                        cost_model=cost_model)
+                        cost_model=cost_model, result_cache=result_cache)
     while True:
         try:
             command, payload = connection.recv()

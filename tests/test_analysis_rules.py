@@ -12,6 +12,7 @@ from repro.analysis.rules import (
     EpochDiscipline,
     FlatViewInvalidation,
     HotPathPurity,
+    ResultCacheDiscipline,
     ShardingProtocolHygiene,
 )
 
@@ -449,5 +450,121 @@ class TestBroadExceptRationale:
                 risky()
             except Exception:  # repro: ignore[REP006] -- fixture boundary
                 pass
+        """, self.RULE())
+        assert findings == []
+
+
+class TestResultCacheDiscipline:
+    RULE = ResultCacheDiscipline
+
+    SCOPE_INIT = """
+                def __init__(self):
+                    import threading
+                    self._lock = threading.Lock()
+                    self._entries = {}
+                    self._hits = 0
+    """
+
+    def test_fires_on_unlocked_mutator(self):
+        findings = findings_for("""
+            class Cache:
+                def __init__(self):
+                    import threading
+                    self._lock = threading.Lock()
+                    self._entries = {}
+                    self._hits = 0
+
+                def record(self, key, value):
+                    self._entries[key] = value
+                    self._hits += 1
+        """, self.RULE())
+        assert [f.rule for f in findings] == ["REP007"]
+        assert "Cache.record" in findings[0].message
+        assert "_entries" in findings[0].message
+
+    def test_quiet_when_lock_held(self):
+        findings = findings_for("""
+            class Cache:
+                def __init__(self):
+                    import threading
+                    self._lock = threading.Lock()
+                    self._entries = {}
+                    self._hits = 0
+
+                def record(self, key, value):
+                    with self._lock:
+                        self._entries[key] = value
+                        self._hits += 1
+        """, self.RULE())
+        assert findings == []
+
+    def test_quiet_under_epoch_write_side(self):
+        findings = findings_for("""
+            class Cache:
+                def __init__(self, epochs):
+                    import threading
+                    self.epochs = epochs
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def rebuild(self):
+                    with self.epochs.write():
+                        self._entries.clear()
+        """, self.RULE())
+        assert findings == []
+
+    def test_quiet_on_locked_suffixed_helper(self):
+        # The _locked suffix is the contract "caller already holds the
+        # lock" — the helper itself is exempt.
+        findings = findings_for("""
+            class Cache:
+                def __init__(self):
+                    import threading
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def _remove_locked(self, key):
+                    del self._entries[key]
+        """, self.RULE())
+        assert findings == []
+
+    def test_fires_on_container_method_mutation(self):
+        findings = findings_for("""
+            class Cache:
+                def __init__(self):
+                    import threading
+                    self._lock = threading.Lock()
+                    self._entries = {}
+                    self._seen = set()
+
+                def note(self, key):
+                    self._seen.add(key)
+        """, self.RULE())
+        assert [f.rule for f in findings] == ["REP007"]
+        assert "_seen" in findings[0].message
+
+    def test_quiet_without_lock_in_scope(self):
+        # A class owning entries but no lock (the B+-tree shape) is out
+        # of scope — REP001 covers its invariant instead.
+        findings = findings_for("""
+            class Tree:
+                def __init__(self):
+                    self._entries = {}
+
+                def add(self, key, value):
+                    self._entries[key] = value
+        """, self.RULE())
+        assert findings == []
+
+    def test_quiet_on_readers(self):
+        findings = findings_for("""
+            class Cache:
+                def __init__(self):
+                    import threading
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def lookup(self, key):
+                    return self._entries.get(key)
         """, self.RULE())
         assert findings == []

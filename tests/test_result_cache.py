@@ -1,0 +1,541 @@
+"""The epoch-validated result cache (``pytest -m serving``).
+
+Four layers, bottom up:
+
+* **Canonical keys** — permuted, duplicated and overlapping conjuncts
+  collapse to the same key; unsatisfiable conjunctions bypass.
+* **ResultCache units** — doorkeeper admission, exact-epoch staleness,
+  LRU and byte-budget eviction, batch probe/fill, clear/sweep/peek, and
+  the stats surface (including the sharded ``merge``).
+* **Engine equivalence** (hypothesis) — for any request mix interleaved
+  with inserts, updates and deletes, ``execute`` / ``execute_many`` with
+  the cache enabled return exactly the cache-off results, across every
+  index mechanism and both pointer schemes.
+* **Concurrency** — the torn-read stress shape from ``test_serving``:
+  a writer commits marker rows in all-or-nothing batches while cached
+  readers hammer the same table; every observed count must sit on a
+  batch boundary (a stale cached array would break that instantly).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.result_cache import (
+    ResultCache,
+    ResultCacheConfig,
+    ResultCacheStats,
+    canonical_key,
+)
+from repro.engine.catalog import IndexMethod
+from repro.engine.database import Database
+from repro.engine.query import (
+    ConjunctiveQuery,
+    QueryRequest,
+    RangePredicate,
+    conjunction,
+)
+from repro.errors import ConfigurationError
+from repro.serving import Server
+from repro.sharding import ShardedDatabase
+from repro.storage.identifiers import PointerScheme
+from repro.storage.schema import numeric_schema
+
+pytestmark = pytest.mark.serving
+
+SETTINGS = settings(max_examples=10, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+METHODS = ("hermit", "btree", "sorted", "cm")
+SCHEMES = (PointerScheme.PHYSICAL, PointerScheme.LOGICAL)
+ROWS = 400
+TARGET_DOMAIN = (0.0, 1_000.0)
+
+
+def build_database(scheme: PointerScheme = PointerScheme.PHYSICAL,
+                   method: str = "sorted", rows: int = ROWS,
+                   cache_config: ResultCacheConfig | None = None,
+                   seed: int = 11) -> Database:
+    """(pk, host, target, payload) with a target index, cache enabled."""
+    rng = np.random.default_rng(seed)
+    low, high = TARGET_DOMAIN
+    target = rng.uniform(low, high, size=rows)
+    database = Database(
+        pointer_scheme=scheme,
+        result_cache=cache_config or ResultCacheConfig())
+    database.create_table(numeric_schema(
+        "t", ["pk", "host", "target", "payload"], primary_key="pk"))
+    database.insert_many("t", {
+        "pk": np.arange(rows, dtype=np.float64),
+        "host": 2.0 * target + 10.0,
+        "target": target,
+        "payload": rng.uniform(0.0, 1.0, size=rows),
+    })
+    database.create_index("idx_host", "t", "host", method=IndexMethod.BTREE)
+    if method == "hermit":
+        database.create_index("idx_target", "t", "target",
+                              method=IndexMethod.HERMIT, host_column="host")
+    elif method == "btree":
+        database.create_index("idx_target", "t", "target",
+                              method=IndexMethod.BTREE)
+    elif method == "sorted":
+        database.create_index("idx_target", "t", "target",
+                              method=IndexMethod.SORTED_COLUMN)
+    elif method == "cm":
+        database.create_index("idx_target", "t", "target",
+                              method=IndexMethod.CORRELATION_MAP,
+                              host_column="host",
+                              cm_target_bucket_width=25.0,
+                              cm_host_bucket_width=50.0)
+    else:
+        raise AssertionError(method)
+    return database
+
+
+def locations_equal(result_a, result_b) -> bool:
+    """Hits carry read-only arrays, misses carry lists — compare values."""
+    return np.array_equal(result_a.locations, result_b.locations)
+
+
+class TestCanonicalKey:
+    def test_single_predicate_fast_path_matches_merged_path(self):
+        query = conjunction(RangePredicate("target", 2.0, 9.0))
+        duplicated = conjunction(RangePredicate("target", 2.0, 9.0),
+                                 RangePredicate("target", 2.0, 9.0))
+        assert canonical_key(query) == canonical_key(duplicated)
+        assert canonical_key(query) == ("target", 2.0, 9.0)
+
+    def test_permuted_conjuncts_share_a_key(self):
+        a = conjunction(RangePredicate("host", 1.0, 5.0),
+                        RangePredicate("target", 2.0, 9.0))
+        b = conjunction(RangePredicate("target", 2.0, 9.0),
+                        RangePredicate("host", 1.0, 5.0))
+        assert canonical_key(a) == canonical_key(b)
+
+    def test_overlapping_same_column_predicates_intersect(self):
+        overlapping = conjunction(RangePredicate("target", 0.0, 10.0),
+                                  RangePredicate("target", 5.0, 20.0))
+        merged = conjunction(RangePredicate("target", 5.0, 10.0))
+        assert canonical_key(overlapping) == canonical_key(merged)
+
+    def test_unsatisfiable_returns_none(self):
+        disjoint = conjunction(RangePredicate("target", 0.0, 1.0),
+                               RangePredicate("target", 5.0, 6.0))
+        assert canonical_key(disjoint) is None
+
+
+class TestResultCacheUnits:
+    KEY = (("target", 1.0, 2.0),)
+
+    def put_twice(self, cache: ResultCache, key=None, table="t",
+                  locations=(1, 2, 3), epoch=0, used_index="idx"):
+        """Install through the doorkeeper (first put only registers)."""
+        array = np.asarray(locations, dtype=np.int64)
+        cache.put(table, key or self.KEY, array, epoch, used_index)
+        cache.put(table, key or self.KEY, array, epoch, used_index)
+
+    def test_admission_defers_first_fill(self):
+        cache = ResultCache()
+        array = np.array([1, 2], dtype=np.int64)
+        cache.put("t", self.KEY, array, 0, None)
+        assert cache.get("t", self.KEY, 0) is None
+        assert cache.info().admission_deferrals == 1
+        cache.put("t", self.KEY, array, 0, None)
+        entry = cache.get("t", self.KEY, 0)
+        assert entry is not None
+        assert np.array_equal(entry.locations, array)
+        assert not entry.locations.flags.writeable
+
+    def test_admission_off_installs_immediately(self):
+        cache = ResultCache(ResultCacheConfig(admission=False))
+        cache.put("t", self.KEY, np.array([7], dtype=np.int64), 0, None)
+        assert cache.get("t", self.KEY, 0) is not None
+        assert cache.info().admission_deferrals == 0
+
+    def test_stale_entry_evicted_on_probe(self):
+        cache = ResultCache(ResultCacheConfig(admission=False))
+        cache.put("t", self.KEY, np.array([1], dtype=np.int64), 3, None)
+        assert cache.get("t", self.KEY, 4) is None
+        info = cache.info()
+        assert info.stale_evictions == 1
+        assert info.entries == 0
+        # The stale probe counts as a miss, not a hit.
+        assert info.misses == 1 and info.hits == 0
+
+    def test_lru_eviction_by_entry_count(self):
+        cache = ResultCache(ResultCacheConfig(max_entries=2,
+                                              admission=False))
+        for value in range(3):
+            cache.put("t", (("c", value, value),),
+                      np.array([value], dtype=np.int64), 0, None)
+        assert len(cache) == 2
+        assert cache.get("t", (("c", 0, 0),), 0) is None  # cold end died
+        assert cache.get("t", (("c", 2, 2),), 0) is not None
+        assert cache.info().lru_evictions == 1
+
+    def test_lru_order_follows_hits(self):
+        cache = ResultCache(ResultCacheConfig(max_entries=2,
+                                              admission=False))
+        cache.put("t", (("c", 0, 0),), np.array([0]), 0, None)
+        cache.put("t", (("c", 1, 1),), np.array([1]), 0, None)
+        assert cache.get("t", (("c", 0, 0),), 0) is not None  # warm 0
+        cache.put("t", (("c", 2, 2),), np.array([2]), 0, None)
+        assert cache.get("t", (("c", 1, 1),), 0) is None  # 1 was coldest
+        assert cache.get("t", (("c", 0, 0),), 0) is not None
+
+    def test_byte_budget_eviction(self):
+        config = ResultCacheConfig(max_bytes=2 * (800 + 128),
+                                   admission=False)
+        cache = ResultCache(config)
+        for value in range(3):
+            cache.put("t", (("c", value, value),),
+                      np.zeros(100, dtype=np.int64), 0, None)
+        assert len(cache) == 2
+        assert cache.info().bytes <= config.max_bytes
+
+    def test_oversized_result_never_cached(self):
+        cache = ResultCache(ResultCacheConfig(max_bytes=256,
+                                              admission=False))
+        cache.put("t", self.KEY, np.zeros(1000, dtype=np.int64), 0, None)
+        assert len(cache) == 0
+
+    def test_peek_is_non_destructive(self):
+        cache = ResultCache(ResultCacheConfig(admission=False))
+        cache.put("t", self.KEY, np.array([1], dtype=np.int64), 3, None)
+        assert cache.peek("t", self.KEY, 3) is not None
+        stale = cache.peek("t", self.KEY, 4)
+        assert stale is None
+        info = cache.info()
+        assert info.hits == 0 and info.misses == 0
+        assert info.entries == 1  # even the stale peek evicted nothing
+
+    def test_get_many_mixes_hits_misses_and_bypasses(self):
+        cache = ResultCache(ResultCacheConfig(admission=False))
+        cache.put("t", (("c", 1, 1),), np.array([1], dtype=np.int64), 0, "i")
+        keys = [(("c", 1, 1),), (("c", 2, 2),), None]
+        entries = cache.get_many("t", keys, 0)
+        assert entries[0] is not None and entries[1] is None
+        assert entries[2] is None
+        info = cache.info()
+        assert info.hits == 1 and info.misses == 1  # None key uncounted
+
+    def test_put_many_installs_after_doorkeeper(self):
+        cache = ResultCache()
+        items = [((("c", value, value),),
+                  np.array([value], dtype=np.int64), None)
+                 for value in range(4)]
+        cache.put_many("t", items, 0)
+        assert len(cache) == 0  # all first sightings
+        cache.put_many("t", items, 0)
+        assert len(cache) == 4
+        entry = cache.get("t", (("c", 2, 2),), 0)
+        assert np.array_equal(entry.locations, [2])
+        assert not entry.locations.flags.writeable
+
+    def test_clear_drops_entries_and_doorkeeper_keeps_counters(self):
+        cache = ResultCache()
+        self.put_twice(cache)
+        assert cache.get("t", self.KEY, 0) is not None
+        cache.clear()
+        assert len(cache) == 0
+        info = cache.info()
+        assert info.hits == 1  # counters survive
+        # Doorkeeper memory is gone too: one put defers again.
+        cache.put("t", self.KEY, np.array([1], dtype=np.int64), 0, None)
+        assert cache.get("t", self.KEY, 0) is None
+
+    def test_sweep_drops_stale_and_dropped_tables(self):
+        cache = ResultCache(ResultCacheConfig(admission=False))
+        cache.put("a", self.KEY, np.array([1], dtype=np.int64), 3, None)
+        cache.put("b", self.KEY, np.array([2], dtype=np.int64), 5, None)
+        assert cache.sweep({"a": 3}) == 1  # b's table vanished
+        assert cache.sweep({"a": 4}) == 1  # a went stale
+        assert len(cache) == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResultCacheConfig(max_entries=0)
+        with pytest.raises(ConfigurationError):
+            ResultCacheConfig(max_bytes=0)
+
+    def test_stats_merge_sums_counters_and_tables(self):
+        cache_a = ResultCache(ResultCacheConfig(admission=False))
+        cache_b = ResultCache(ResultCacheConfig(admission=False))
+        cache_a.put("t", self.KEY, np.array([1], dtype=np.int64), 0, None)
+        cache_b.put("t", self.KEY, np.array([2], dtype=np.int64), 0, None)
+        cache_a.get("t", self.KEY, 0)
+        cache_b.get("t", (("c", 9, 9),), 0)
+        merged = ResultCacheStats.merge([cache_a.info(), cache_b.info()])
+        assert merged.hits == 1 and merged.misses == 1
+        assert merged.entries == 2
+        assert merged.per_table["t"].entries == 2
+        assert merged.hit_ratio == 0.5
+
+
+class TestEngineWiring:
+    def repeat_until_hit(self, database: Database, request: QueryRequest):
+        """Issue a request enough times to pass the doorkeeper and hit."""
+        database.execute(request)  # registers with the doorkeeper
+        database.execute(request)  # installs
+        return database.execute(request)  # hits
+
+    def test_execute_hit_matches_uncached_and_marks_explain(self):
+        database = build_database()
+        request = QueryRequest.range("t", "target", 100.0, 300.0)
+        uncached = database.execute(request)
+        hit = self.repeat_until_hit(database, request)
+        assert locations_equal(uncached, hit)
+        assert hit.used_index == uncached.used_index
+        plan = database.explain("t", ConjunctiveQuery(
+            (RangePredicate("target", 100.0, 300.0),)))
+        assert plan.cached
+        assert plan.used_index == uncached.used_index
+        assert "result cache hit" in plan.describe()
+
+    def test_explain_does_not_perturb_cache_state(self):
+        database = build_database()
+        request = QueryRequest.range("t", "target", 100.0, 300.0)
+        self.repeat_until_hit(database, request)
+        before = database.result_cache_info()
+        database.explain("t", ConjunctiveQuery(
+            (RangePredicate("target", 100.0, 300.0),)))
+        after = database.result_cache_info()
+        assert (after.hits, after.misses) == (before.hits, before.misses)
+
+    def test_dml_invalidates_between_executions(self):
+        database = build_database()
+        request = QueryRequest.range("t", "target", 0.0, 1_000.0)
+        hit = self.repeat_until_hit(database, request)
+        count = len(hit.locations)
+        database.insert_many("t", {
+            "pk": np.array([10_000.0]), "host": np.array([1.0]),
+            "target": np.array([500.0]), "payload": np.array([0.0]),
+        })
+        fresh = database.execute(request)
+        assert len(fresh.locations) == count + 1
+        assert database.result_cache_info().stale_evictions >= 1
+
+    def test_execute_many_splices_hits_in_input_order(self):
+        database = build_database()
+        requests = [QueryRequest.range("t", "target", 100.0 * i,
+                                       100.0 * i + 150.0)
+                    for i in range(6)]
+        baseline = database.execute_many(requests)
+        database.execute_many(requests)  # install (doorkeeper passed)
+        # Mix hits with never-seen requests in one batch.
+        mixed = requests[:3] + [QueryRequest.point("t", "target", -1.0)] + \
+            requests[3:]
+        mixed_baseline = baseline[:3] + \
+            [database.execute(QueryRequest.point("t", "target", -1.0))] + \
+            baseline[3:]
+        results = database.execute_many(mixed)
+        assert len(results) == len(mixed)
+        for got, expected in zip(results, mixed_baseline):
+            assert locations_equal(got, expected)
+        assert database.result_cache_info().hits >= 6
+
+    def test_result_cache_clear_and_disabled_database(self):
+        database = build_database()
+        request = QueryRequest.range("t", "target", 100.0, 300.0)
+        self.repeat_until_hit(database, request)
+        assert database.result_cache_info().entries >= 1
+        database.result_cache_clear()
+        assert database.result_cache_info().entries == 0
+
+        plain = Database()
+        info = plain.result_cache_info()
+        assert info.enabled is False and info.entries == 0
+        plain.result_cache_clear()  # no-op, must not raise
+
+    def test_server_stats_carry_cache_counters(self):
+        database = build_database()
+        request = QueryRequest.range("t", "target", 100.0, 300.0)
+        server = Server(database)
+        try:
+            for _ in range(3):
+                server.submit(request).result(timeout=5.0)
+            stats = server.stats()
+            assert stats.result_cache.enabled
+            assert stats.result_cache.hits >= 1
+        finally:
+            server.close()
+
+    def test_checkpoint_sweeps_stale_entries(self, tmp_path):
+        from repro.durability.config import DurabilityConfig
+
+        database = Database(
+            durability=DurabilityConfig(directory=tmp_path),
+            result_cache=ResultCacheConfig())
+        database.create_table(numeric_schema(
+            "t", ["pk", "target"], primary_key="pk"))
+        database.insert_many("t", {
+            "pk": np.arange(10, dtype=np.float64),
+            "target": np.arange(10, dtype=np.float64),
+        })
+        database.create_table(numeric_schema(
+            "u", ["pk", "target"], primary_key="pk"))
+        database.insert_many("u", {
+            "pk": np.arange(10, dtype=np.float64),
+            "target": np.arange(10, dtype=np.float64),
+        })
+        request = QueryRequest.range("t", "target", 0.0, 5.0)
+        database.execute(request)
+        database.execute(request)
+        assert database.result_cache_info().entries == 1
+        # DML on *another* table leaves t's entry fresh; DML on t makes
+        # it sweepable without any probe touching it.
+        database.insert_many("t", {
+            "pk": np.array([100.0]), "target": np.array([100.0]),
+        })
+        database.checkpoint()
+        info = database.result_cache_info()
+        assert info.entries == 0
+        assert info.stale_evictions == 1
+
+
+class TestShardedComposition:
+    def build(self, num_shards: int = 2) -> ShardedDatabase:
+        database = ShardedDatabase(
+            num_shards=num_shards, mode="inline",
+            result_cache=ResultCacheConfig())
+        database.create_table(
+            numeric_schema("t", ["pk", "target"], primary_key="pk"),
+            boundaries=[50.0])
+        database.insert_many("t", {
+            "pk": np.arange(100, dtype=np.float64),
+            "target": np.arange(100, dtype=np.float64),
+        })
+        return database
+
+    def test_merged_stats_and_clear_across_shards(self):
+        database = self.build()
+        requests = [QueryRequest.range("t", "target", 10.0, 60.0)] * 3
+        for _ in range(3):
+            database.execute_many(requests)
+        info = database.result_cache_info()
+        assert info.enabled
+        assert info.hits >= 1
+        assert info.entries >= 1
+        database.result_cache_clear()
+        assert database.result_cache_info().entries == 0
+
+    def test_sharded_results_match_cache_off(self):
+        database = self.build()
+        request = QueryRequest.range("t", "target", 10.0, 60.0)
+        first = database.execute(request)
+        for _ in range(3):
+            again = database.execute(request)
+            assert sorted(again.locations) == sorted(first.locations)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.value)
+@pytest.mark.parametrize("method", METHODS)
+class TestCachedEqualsUncached:
+    """Hypothesis: cache-on results == cache-off results under DML."""
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_equivalence_under_interleaved_dml(self, scheme, method, data):
+        database = build_database(scheme, method, rows=150)
+        cache = database.result_cache
+        low, high = TARGET_DOMAIN
+        bound = st.floats(min_value=low - 100.0, max_value=high + 100.0,
+                          allow_nan=False, width=64)
+        next_pk = 10_000.0
+        for _ in range(data.draw(st.integers(min_value=2, max_value=4),
+                                 label="rounds")):
+            pairs = data.draw(st.lists(st.tuples(bound, bound), min_size=1,
+                                       max_size=6), label="bounds")
+            requests = [QueryRequest.range("t", "target", min(a, b),
+                                           max(a, b)) for a, b in pairs]
+            # Issue the batch repeatedly with the cache on: passes the
+            # doorkeeper, installs, then serves hits — every repetition
+            # must equal the cache-off answer computed on the same data.
+            for _ in range(3):
+                cached_many = database.execute_many(requests)
+                cached_one = database.execute(requests[0])
+                cache.enabled = False
+                plain_many = database.execute_many(requests)
+                plain_one = database.execute(requests[0])
+                cache.enabled = True
+                for got, expected in zip(cached_many, plain_many):
+                    assert locations_equal(got, expected)
+                assert locations_equal(cached_one, plain_one)
+            mutation = data.draw(st.sampled_from(
+                ["insert", "delete", "update", "none"]), label="dml")
+            if mutation == "insert":
+                value = data.draw(bound, label="insert_target")
+                database.insert_many("t", {
+                    "pk": np.array([next_pk]),
+                    "host": np.array([2.0 * value + 10.0]),
+                    "target": np.array([value]),
+                    "payload": np.array([0.5]),
+                })
+                next_pk += 1.0
+            elif mutation in ("delete", "update"):
+                victims = database.execute(
+                    QueryRequest.range("t", "target", low, high)).locations
+                if len(victims) == 0:
+                    continue
+                index = data.draw(st.integers(
+                    min_value=0, max_value=len(victims) - 1), label="victim")
+                location = int(victims[index])
+                if mutation == "delete":
+                    database.delete("t", location)
+                else:
+                    value = data.draw(bound, label="update_target")
+                    database.update("t", location, {"target": value})
+
+
+class TestNoTornCachedReads:
+    def test_writer_batches_never_half_visible_to_cached_readers(self):
+        """The ``test_serving`` stress shape, pointed at the cache.
+
+        A writer inserts marker rows in all-or-nothing batches; cached
+        readers repeat the same marker query (maximal hit pressure).
+        Every count observed — from the cache or not — must be a
+        multiple of the batch size: a cached array surviving its epoch
+        would surface as an off-boundary count.
+        """
+        database = build_database(rows=500)
+        batch = 8
+        marker = 5_000.0
+        request = QueryRequest.point("t", "target", marker)
+        failures: list[str] = []
+        stop = threading.Event()
+
+        def writer():
+            pk = 50_000.0
+            for _ in range(30):
+                database.insert_many("t", {
+                    "pk": pk + np.arange(batch, dtype=np.float64),
+                    "host": np.full(batch, marker * 2.0),
+                    "target": np.full(batch, marker),
+                    "payload": np.zeros(batch),
+                })
+                pk += batch
+            stop.set()
+
+        def reader():
+            while not stop.is_set():
+                count = len(database.execute(request).locations)
+                if count % batch:
+                    failures.append(f"torn cached read: {count}")
+                    return
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not failures, failures
+        final = database.execute(request)
+        assert len(final.locations) == 30 * batch
+        info = database.result_cache_info()
+        assert info.hits > 0  # the stress actually exercised the cache
